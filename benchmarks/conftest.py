@@ -1,0 +1,43 @@
+"""Shared fixtures and result recording for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper.  Besides
+the pytest-benchmark timings, each module writes the paper-style rows it
+produced to ``benchmarks/results/<experiment>.txt`` so the numbers quoted in
+EXPERIMENTS.md can be traced back to a concrete run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_rows(results_dir):
+    """Write a list of dict rows (one experiment's output) to a result file."""
+
+    def _record(experiment: str, rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+        from repro.bench.report import format_table
+
+        text = format_table(list(rows), title=title or experiment)
+        path = results_dir / f"{experiment}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return text
+
+    return _record

@@ -1,0 +1,91 @@
+"""Figure 3 — matrix multiplication scalability.
+
+Figure 3a plots single-core running time against matrix dimension (the paper
+observes near-quadratic growth up to ~5000 thanks to SIMD, cubic afterwards);
+Figure 3b plots the multi-core scaling of construction vs multiplication for
+a fixed size.  The dimensions are scaled down so the benchmark finishes in
+seconds; the recorded series preserve the shapes: super-linear growth with
+dimension, near-linear speedup with cores for the multiply phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import time_call
+from repro.matmul.cost_model import MatMulCostModel
+from repro.matmul.dense import count_matmul
+from repro.parallel.executor import parallel_matmul
+from repro.parallel.workmodel import model_for
+
+DIMENSIONS = [128, 256, 384, 512, 640]
+CORES = [1, 2, 3, 4, 5]
+FIXED_DIM = 512
+
+
+def _random_pair(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.random((n, n), dtype=np.float32),
+        rng.random((n, n), dtype=np.float32),
+    )
+
+
+@pytest.mark.parametrize("dimension", DIMENSIONS)
+def test_fig3a_single_core_scaling(benchmark, dimension):
+    a, b = _random_pair(dimension)
+    benchmark(count_matmul, a, b)
+
+
+def test_fig3a_series_grows_superlinearly(benchmark, record_rows):
+    def build_rows():
+        rows = []
+        for dim in DIMENSIONS:
+            a, b = _random_pair(dim)
+            measurement = time_call(count_matmul, a, b, repeats=3)
+            rows.append({"dimension": dim, "seconds": measurement.seconds})
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = record_rows("fig3a_matmul_single_core", rows,
+                       title="Figure 3a: matmul running time vs dimension (single core)")
+    times = [row["seconds"] for row in rows]
+    assert times[-1] > times[0]
+    # Growth from the smallest to the largest dimension is super-linear:
+    # the dimension grew 5x, the time must grow by clearly more than 5x.
+    assert times[-1] / max(times[0], 1e-9) > 5.0
+    print("\n" + text)
+
+
+@pytest.mark.parametrize("cores", CORES)
+def test_fig3b_multicore_multiply(benchmark, cores):
+    a, b = _random_pair(FIXED_DIM)
+    benchmark(parallel_matmul, a, b, cores)
+
+
+def test_fig3b_series_construction_vs_multiply(benchmark, record_rows):
+    """Records the Figure 3b decomposition: construction + multiply per core count."""
+
+    def build_rows():
+        model = MatMulCostModel()
+        model.calibrate(repeats=1)
+        construction_model = model_for("matrix_construction")
+        a, b = _random_pair(FIXED_DIM)
+        single_core_multiply = time_call(parallel_matmul, a, b, 1, repeats=3).seconds
+        single_core_construct = model.estimate_construction(FIXED_DIM, FIXED_DIM, FIXED_DIM)
+        rows = []
+        for cores in CORES:
+            measured_multiply = time_call(parallel_matmul, a, b, cores, repeats=3).seconds
+            rows.append({
+                "cores": cores,
+                "multiply_measured": measured_multiply,
+                "multiply_modelled": model_for("matrix_multiply").time_at(single_core_multiply, cores),
+                "construction_modelled": construction_model.time_at(single_core_construct, cores),
+            })
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = record_rows("fig3b_matmul_multicore", rows,
+                       title="Figure 3b: matmul scaling with cores (fixed dimension)")
+    modelled = [row["multiply_modelled"] for row in rows]
+    assert modelled == sorted(modelled, reverse=True)
+    print("\n" + text)

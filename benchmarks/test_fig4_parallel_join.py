@@ -1,0 +1,95 @@
+"""Figures 4d-4g — two-path and star join-project in the multi-core setting.
+
+The paper plots running time against core count (2..10) for the Jokes and
+Words datasets.  We measure the genuinely parallel two-path evaluation
+(row-partitioned matrix product + partitioned probing) at each core count and
+additionally record the deterministic work-model projection for both MMJoin
+and Non-MMJoin so the series are reproducible on any machine.
+
+Expected shape: both algorithms speed up with more cores; MMJoin keeps its
+absolute advantage and scales at least as well (its matrix phase is
+coordination-free).
+"""
+
+import pytest
+
+from repro.bench.datasets import bench_dataset
+from repro.bench.runner import time_call
+from repro.core.optimizer import CostBasedOptimizer
+from repro.core.star import star_join
+from repro.joins.baseline import combinatorial_star, combinatorial_two_path
+from repro.parallel.executor import parallel_two_path
+from repro.parallel.workmodel import model_for
+
+CORE_COUNTS = [2, 4, 6, 8, 10]
+DATASETS = ["jokes", "words"]
+
+
+def _thresholds(relation):
+    decision = CostBasedOptimizer().choose_two_path(relation, relation)
+    if decision.strategy == "mmjoin":
+        return decision.delta1, decision.delta2
+    return 2, 2
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("cores", [2, 6, 10])
+def test_fig4de_parallel_two_path(benchmark, dataset, cores):
+    relation = bench_dataset(dataset)
+    delta1, delta2 = _thresholds(relation)
+    result = benchmark(parallel_two_path, relation, relation, delta1, delta2, cores)
+    assert len(result.pairs) > 0
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig4de_two_path_core_series(benchmark, record_rows, dataset):
+    def build_rows():
+        relation = bench_dataset(dataset)
+        delta1, delta2 = _thresholds(relation)
+        mmjoin_single = time_call(
+            parallel_two_path, relation, relation, delta1, delta2, 1, repeats=1
+        ).seconds
+        baseline_single = time_call(combinatorial_two_path, relation, relation, repeats=1).seconds
+        rows = []
+        for cores in CORE_COUNTS:
+            measured = time_call(
+                parallel_two_path, relation, relation, delta1, delta2, cores, repeats=1
+            ).seconds
+            rows.append({
+                "cores": cores,
+                "mmjoin_measured": measured,
+                "mmjoin_modelled": model_for("mmjoin").time_at(mmjoin_single, cores),
+                "non_mmjoin_modelled": model_for("non-mmjoin").time_at(baseline_single, cores),
+            })
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = record_rows(f"fig4de_two_path_parallel_{dataset}", rows,
+                       title=f"Figure 4d/4e: parallel two-path join on {dataset} (seconds)")
+    print("\n" + text)
+    modelled = [row["mmjoin_modelled"] for row in rows]
+    assert modelled == sorted(modelled, reverse=True)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig4fg_star_core_series(benchmark, record_rows, dataset):
+    def build_rows():
+        relation = bench_dataset(dataset).sample_tuples(2000, seed=17)
+        relations = [relation, relation, relation]
+        mmjoin_single = time_call(star_join, relations, repeats=1).seconds
+        baseline_single = time_call(combinatorial_star, relations, repeats=1).seconds
+        rows = []
+        for cores in CORE_COUNTS:
+            rows.append({
+                "cores": cores,
+                "mmjoin_modelled": model_for("mmjoin").time_at(mmjoin_single, cores),
+                "non_mmjoin_modelled": model_for("non-mmjoin").time_at(baseline_single, cores),
+            })
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = record_rows(f"fig4fg_star_parallel_{dataset}", rows,
+                       title=f"Figure 4f/4g: parallel star join on {dataset} (seconds)")
+    print("\n" + text)
+    for row in rows:
+        assert row["mmjoin_modelled"] > 0 and row["non_mmjoin_modelled"] > 0

@@ -1,0 +1,50 @@
+"""Figure 4c — set containment join, single core, all algorithms.
+
+Compares the MMJoin-based SCJ against PRETTI, LIMIT+ and the PIEJoin-style
+algorithm on every dataset.  Expected shape (paper): join-processing wins on
+the dense datasets with large average set sizes (where trie verification is
+expensive), while on the sparse datasets (RoadNet / DBLP) the trie algorithms
+are competitive.
+"""
+
+import pytest
+
+from repro.bench.datasets import bench_family, dataset_names
+from repro.bench.runner import time_call
+from repro.setops.scj import set_containment_join
+
+METHODS = ["mmjoin", "pretti", "limit", "piejoin"]
+DATASETS = dataset_names()
+
+
+@pytest.mark.parametrize("dataset", ["dblp", "jokes", "image"])
+@pytest.mark.parametrize("method", METHODS)
+def test_fig4c_scj_methods(benchmark, dataset, method):
+    family = bench_family(dataset)
+    result = benchmark(set_containment_join, family, None, method)
+    assert result.pairs is not None
+
+
+def test_fig4c_comparison_table(benchmark, record_rows):
+    def build_rows():
+        rows = []
+        for dataset in DATASETS:
+            family = bench_family(dataset)
+            row = {"dataset": dataset}
+            reference = None
+            for method in METHODS:
+                measurement = time_call(set_containment_join, family, None, method, repeats=1)
+                row[method] = measurement.seconds
+                if reference is None:
+                    reference = measurement.value.pairs
+                else:
+                    assert measurement.value.pairs == reference, (dataset, method)
+            row["containment_pairs"] = len(reference)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = record_rows("fig4c_scj", rows,
+                       title="Figure 4c: set containment join, single core (seconds)")
+    print("\n" + text)
+    assert len(rows) == len(DATASETS)

@@ -1,0 +1,54 @@
+"""Figures 5d / 5g / 5h — unordered SSJ in the multi-core setting (c = 2).
+
+The paper fixes the overlap threshold to 2 and sweeps the core count on the
+DBLP, Jokes and Image datasets.  The per-core series are produced with the
+deterministic work model applied to the measured single-core times: MMJoin
+and SizeAware++ have large coordination-free fractions (matrix product),
+plain SizeAware's light-set phase does not parallelise, which reproduces the
+paper's observation that SizeAware scales worst.
+"""
+
+import pytest
+
+from repro.bench.datasets import bench_family
+from repro.bench.runner import time_call
+from repro.parallel.workmodel import model_for
+from repro.setops.ssj import set_similarity_join
+
+CORE_COUNTS = [2, 3, 4, 5, 6]
+DATASETS = ["dblp", "jokes", "image"]
+METHODS = ["mmjoin", "sizeaware", "sizeaware++"]
+
+
+@pytest.mark.parametrize("dataset", ["jokes", "image"])
+def test_fig5_parallel_ssj_single_core_reference(benchmark, dataset):
+    family = bench_family(dataset)
+    result = benchmark(set_similarity_join, family, 2, "mmjoin")
+    assert result.pairs is not None
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5_parallel_ssj_core_series(benchmark, record_rows, dataset):
+    def build_rows():
+        family = bench_family(dataset)
+        single_core = {
+            method: time_call(set_similarity_join, family, 2, method, repeats=1).seconds
+            for method in METHODS
+        }
+        rows = []
+        for cores in CORE_COUNTS:
+            row = {"cores": cores}
+            for method in METHODS:
+                row[method] = model_for(method).time_at(single_core[method], cores)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = record_rows(f"fig5_ssj_parallel_{dataset}", rows,
+                       title=f"Figure 5d/5g/5h: parallel unordered SSJ (c=2) on {dataset} (seconds)")
+    print("\n" + text)
+    # MMJoin and SizeAware++ must scale at least as well as SizeAware:
+    # compare the relative speedup from 2 to 6 cores.
+    first, last = rows[0], rows[-1]
+    for method in ("mmjoin", "sizeaware++"):
+        assert last[method] / first[method] <= last["sizeaware"] / first["sizeaware"] + 1e-9

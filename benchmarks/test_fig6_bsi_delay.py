@@ -1,0 +1,64 @@
+"""Figures 6b-6d — boolean set intersection: average delay vs batch size.
+
+Queries arrive at B = 1000 per second; the scheduler batches them and
+evaluates each batch either with MMJoin or with the combinatorial per-pair
+intersection.  The recorded series report, per batch size, the average delay
+and the number of processing units required to keep up.
+
+Expected shape (paper): for the dense datasets MMJoin reaches a given latency
+with far fewer processing units (larger batches become cheap thanks to the
+matrix product); on the Words-like dataset the two methods track each other
+because the optimizer chooses the combinatorial plan anyway.
+"""
+
+import pytest
+
+from repro.bench.datasets import bench_dataset
+from repro.core.bsi import BSIBatchScheduler
+
+ARRIVAL_RATE = 1000.0
+BATCH_SIZES = [50, 100, 200, 400, 800]
+DATASETS = ["jokes", "words", "image"]
+NUM_QUERIES = 1600
+
+
+def _scheduler(dataset: str) -> BSIBatchScheduler:
+    relation = bench_dataset(dataset)
+    return BSIBatchScheduler(relation, relation, arrival_rate=ARRIVAL_RATE)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("use_mmjoin", [True, False])
+def test_fig6_bsi_batch_processing(benchmark, dataset, use_mmjoin):
+    scheduler = _scheduler(dataset)
+    workload = scheduler.generate_workload(200, seed=23)
+    result = benchmark(scheduler.run, workload, 100, use_mmjoin)
+    assert result.num_queries == 200
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6_average_delay_series(benchmark, record_rows, dataset):
+    def build_rows():
+        scheduler = _scheduler(dataset)
+        workload = scheduler.generate_workload(NUM_QUERIES, seed=29)
+        rows = []
+        for batch_size in BATCH_SIZES:
+            mm = scheduler.run(workload, batch_size=batch_size, use_mmjoin=True)
+            comb = scheduler.run(workload, batch_size=batch_size, use_mmjoin=False)
+            assert mm.num_queries == comb.num_queries == NUM_QUERIES
+            rows.append({
+                "batch_size": batch_size,
+                "mmjoin_delay": mm.average_delay,
+                "non_mmjoin_delay": comb.average_delay,
+                "mmjoin_units": mm.processing_units,
+                "non_mmjoin_units": comb.processing_units,
+            })
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = record_rows(f"fig6_bsi_delay_{dataset}", rows,
+                       title=f"Figure 6b-d: BSI average delay vs batch size on {dataset}")
+    print("\n" + text)
+    # Larger batches never need more processing units.
+    units = [row["mmjoin_units"] for row in rows]
+    assert units == sorted(units, reverse=True)

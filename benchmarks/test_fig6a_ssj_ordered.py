@@ -1,0 +1,62 @@
+"""Figures 5e / 5f / 6a — ordered set similarity join, single core.
+
+Same sweep as the unordered SSJ benchmark but the output must be produced in
+decreasing order of overlap.  The extra sorting (and, for SizeAware, the
+extra verification of every light pair's exact overlap) is included in the
+measured time, which is exactly the overhead the paper attributes to the
+baselines in this setting.
+"""
+
+import pytest
+
+from repro.bench.datasets import bench_family
+from repro.bench.runner import time_call
+from repro.setops.ssj_ordered import ordered_set_similarity_join
+
+OVERLAPS = [2, 3, 4, 5, 6]
+DATASETS = ["dblp", "jokes", "image"]
+METHODS = ["mmjoin", "sizeaware", "sizeaware++"]
+
+
+def _family(dataset: str):
+    family = bench_family(dataset)
+    if dataset == "dblp":
+        ids = [int(v) for v in family.set_ids()[:600]]
+        family = family.restrict(ids)
+    return family
+
+
+@pytest.mark.parametrize("dataset", ["jokes", "image"])
+@pytest.mark.parametrize("method", METHODS)
+def test_fig6a_ordered_ssj_c2(benchmark, dataset, method):
+    family = _family(dataset)
+    result = benchmark(ordered_set_similarity_join, family, 2, method)
+    assert len(result) >= 0
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6a_ordered_sweep_table(benchmark, record_rows, dataset):
+    def build_rows():
+        family = _family(dataset)
+        rows = []
+        for c in OVERLAPS:
+            row = {"overlap_c": c}
+            reference = None
+            for method in METHODS:
+                measurement = time_call(ordered_set_similarity_join, family, c, method, repeats=1)
+                row[method] = measurement.seconds
+                ordered_overlaps = [count for _, count in measurement.value.ordered_pairs]
+                assert ordered_overlaps == sorted(ordered_overlaps, reverse=True)
+                pairs = set(measurement.value.pairs())
+                if reference is None:
+                    reference = pairs
+                else:
+                    assert pairs == reference
+            row["output_pairs"] = len(reference)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = record_rows(f"fig6a_ssj_ordered_{dataset}", rows,
+                       title=f"Figures 5e/5f/6a: ordered SSJ on {dataset} (seconds)")
+    print("\n" + text)

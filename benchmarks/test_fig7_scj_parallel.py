@@ -1,0 +1,68 @@
+"""Figures 7a-7d — parallel set containment join (MMJoin vs PIEJoin).
+
+The paper sweeps the core count (2..6) on Jokes, Words, Protein and Image.
+PIEJoin's parallel unit is its first-element partition, whose skew limits
+scaling; MMJoin's matrix phase partitions evenly.  The series combine the
+measured single-core times with the deterministic work model (and, for
+PIEJoin, the measured partition skew bounds the achievable speedup).
+"""
+
+import pytest
+
+from repro.bench.datasets import bench_family
+from repro.bench.runner import time_call
+from repro.parallel.workmodel import ParallelWorkModel, model_for
+from repro.setops.scj import scj_partitions, set_containment_join
+
+CORE_COUNTS = [2, 3, 4, 5, 6]
+DATASETS = ["jokes", "words", "protein", "image"]
+
+
+def _piejoin_parallel_fraction(family) -> float:
+    """Bound PIEJoin's parallel fraction by its partition skew.
+
+    If the largest partition holds fraction ``s`` of the probe sets, at least
+    that share of the work is serialised on one worker.
+    """
+    partitions = scj_partitions(family, family)
+    total = sum(len(p) for p in partitions)
+    if not total:
+        return 0.5
+    largest = max(len(p) for p in partitions)
+    skew_bound = 1.0 - largest / total
+    return min(model_for("piejoin").parallel_fraction, max(skew_bound, 0.1))
+
+
+@pytest.mark.parametrize("dataset", ["jokes", "image"])
+@pytest.mark.parametrize("method", ["mmjoin", "piejoin"])
+def test_fig7_scj_single_core_reference(benchmark, dataset, method):
+    family = bench_family(dataset)
+    result = benchmark(set_containment_join, family, None, method)
+    assert result.pairs is not None
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig7_scj_core_series(benchmark, record_rows, dataset):
+    def build_rows():
+        family = bench_family(dataset)
+        mmjoin = time_call(set_containment_join, family, None, "mmjoin", repeats=1)
+        piejoin = time_call(set_containment_join, family, None, "piejoin", repeats=1)
+        assert mmjoin.value.pairs == piejoin.value.pairs
+        pie_model = ParallelWorkModel(parallel_fraction=_piejoin_parallel_fraction(family))
+        rows = []
+        for cores in CORE_COUNTS:
+            rows.append({
+                "cores": cores,
+                "mmjoin": model_for("mmjoin").time_at(mmjoin.seconds, cores),
+                "piejoin": pie_model.time_at(piejoin.seconds, cores),
+            })
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = record_rows(f"fig7_scj_parallel_{dataset}", rows,
+                       title=f"Figure 7: parallel SCJ on {dataset} (seconds)")
+    print("\n" + text)
+    # MMJoin's relative speedup from 2 to 6 cores is at least PIEJoin's.
+    mm_ratio = rows[-1]["mmjoin"] / rows[0]["mmjoin"]
+    pie_ratio = rows[-1]["piejoin"] / rows[0]["piejoin"]
+    assert mm_ratio <= pie_ratio + 1e-9

@@ -1,0 +1,60 @@
+"""Figure 8 — impact of the SizeAware++ optimisations on the Words dataset.
+
+The paper switches the three optimisations on cumulatively and reports the
+running time as a percentage of the unoptimised (NO-OP) baseline:
+
+* NO-OP  — plain SizeAware (brute-force heavy phase, c-subset light phase);
+* Light  — light-light pairs through the counting MMJoin;
+* Heavy  — additionally the heavy join through the counting MMJoin;
+* Prefix — additionally prefix-tree computation reuse for the remaining
+  inverted-list merges.
+
+Expected shape: every step is at most as slow as the previous one and the
+full configuration is several times faster than NO-OP.
+"""
+
+import pytest
+
+from repro.bench.datasets import bench_family
+from repro.bench.runner import time_call
+from repro.setops.ssj import ssj_sizeaware, ssj_sizeaware_plus
+
+OVERLAP = 2
+
+CONFIGURATIONS = [
+    ("NO-OP", dict(heavy_mm=False, light_mm=False, prefix=False)),
+    ("Light", dict(heavy_mm=False, light_mm=True, prefix=False)),
+    ("Heavy", dict(heavy_mm=True, light_mm=True, prefix=False)),
+    ("Prefix", dict(heavy_mm=True, light_mm=True, prefix=True)),
+]
+
+
+@pytest.mark.parametrize("label,flags", CONFIGURATIONS, ids=[c[0] for c in CONFIGURATIONS])
+def test_fig8_configuration(benchmark, label, flags):
+    family = bench_family("words")
+    result = benchmark(ssj_sizeaware_plus, family, OVERLAP, **flags)
+    assert result.pairs is not None
+
+
+def test_fig8_ablation_table(benchmark, record_rows):
+    def build_rows():
+        family = bench_family("words")
+        noop = time_call(ssj_sizeaware, family, OVERLAP, repeats=1)
+        reference_pairs = noop.value.pairs
+        rows = [{"configuration": "NO-OP", "seconds": noop.seconds, "percent_of_noop": 100.0}]
+        for label, flags in CONFIGURATIONS[1:]:
+            measurement = time_call(ssj_sizeaware_plus, family, OVERLAP, repeats=1, **flags)
+            assert measurement.value.pairs == reference_pairs
+            rows.append({
+                "configuration": label,
+                "seconds": measurement.seconds,
+                "percent_of_noop": 100.0 * measurement.seconds / max(noop.seconds, 1e-12),
+            })
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = record_rows("fig8_ssj_ablation", rows,
+                       title="Figure 8: SizeAware++ optimisation ablation on words (c=2)")
+    print("\n" + text)
+    # The fully optimised configuration must clearly beat NO-OP.
+    assert rows[-1]["seconds"] < rows[0]["seconds"]

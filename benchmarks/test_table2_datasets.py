@@ -1,0 +1,37 @@
+"""Table 2 — dataset characteristics.
+
+Regenerates the dataset-statistics table (|R|, number of sets, |dom|,
+avg/min/max set size) for the six synthetic dataset analogues.  The absolute
+sizes are scaled down (see DESIGN.md); the *relative* characteristics — DBLP
+and RoadNet sparse with tiny sets, Jokes/Words/Protein/Image dense with large
+sets — are what the benchmark checks and records.
+"""
+
+import pytest
+
+from repro.bench.datasets import BENCH_SCALE, bench_datasets, table2_rows
+
+
+def test_table2_dataset_characteristics(benchmark, record_rows):
+    rows = benchmark(table2_rows, BENCH_SCALE)
+    text = record_rows("table2_datasets", rows, title="Table 2: dataset characteristics (scaled)")
+    assert len(rows) == 6
+
+    stats = {row["dataset"]: row for row in rows}
+    # Sparse datasets have small average set sizes, dense ones large.
+    assert stats["roadnet"]["avg_set_size"] < 4
+    assert stats["dblp"]["avg_set_size"] < 20
+    for dense in ("jokes", "protein", "image"):
+        assert stats[dense]["avg_set_size"] > stats["dblp"]["avg_set_size"]
+    # Every dataset is non-trivial.
+    for row in rows:
+        assert row["tuples"] > 100
+    print("\n" + text)
+
+
+def test_table2_density_ordering(benchmark):
+    datasets = benchmark(bench_datasets)
+    def density(rel):
+        return len(rel) / max(rel.x_values().size * rel.y_values().size, 1)
+    assert density(datasets["image"]) > density(datasets["dblp"])
+    assert density(datasets["protein"]) > density(datasets["roadnet"])

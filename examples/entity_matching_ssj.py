@@ -1,0 +1,72 @@
+"""Entity matching with set similarity joins.
+
+The set-similarity motivation of the paper: records (here, synthetic product
+descriptions) are represented as sets of tokens; two records are match
+candidates when their token sets overlap in at least ``c`` elements.  The
+example runs the unordered SSJ with all three algorithms (MMJoin, SizeAware,
+SizeAware++), checks they agree, and then uses the *ordered* SSJ to list the
+most similar record pairs first — the setting where the matrix product's free
+witness counts pay off.
+
+Run with:  python examples/entity_matching_ssj.py
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import SetFamily, set_similarity_join
+from repro.setops.ssj_ordered import ordered_set_similarity_join
+
+
+def make_records(num_records: int = 800, vocabulary: int = 400, seed: int = 5) -> SetFamily:
+    """Synthetic records: each record is a bag of tokens drawn from a skewed
+    vocabulary, and a fraction of records are near-duplicates of another."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, vocabulary + 1)
+    weights = 1.0 / ranks ** 1.1
+    weights /= weights.sum()
+    records = {}
+    for rid in range(num_records):
+        size = int(rng.integers(5, 25))
+        records[rid] = set(int(t) for t in rng.choice(vocabulary, size=size, p=weights))
+    # inject near-duplicates: copy a record and perturb a couple of tokens
+    for dup in range(num_records, num_records + num_records // 10):
+        source = int(rng.integers(0, num_records))
+        tokens = set(records[source])
+        for _ in range(2):
+            tokens.add(int(rng.integers(0, vocabulary)))
+        records[dup] = tokens
+    return SetFamily.from_dict(records, name="records")
+
+
+def main() -> None:
+    family = make_records()
+    print(f"{family.num_sets()} records, {family.num_tuples()} (record, token) pairs, "
+          f"vocabulary {family.elements().size}")
+
+    overlap = 4
+    timings = {}
+    reference = None
+    for method in ("mmjoin", "sizeaware", "sizeaware++"):
+        start = time.perf_counter()
+        result = set_similarity_join(family, c=overlap, method=method)
+        timings[method] = time.perf_counter() - start
+        if reference is None:
+            reference = result.pairs
+        assert result.pairs == reference
+        print(f"  {method:12s}: {len(result.pairs):6d} candidate pairs "
+              f"in {timings[method]:.3f}s")
+
+    print(f"\nmost similar record pairs (ordered SSJ, c >= {overlap}):")
+    ordered = ordered_set_similarity_join(family, c=overlap, method="mmjoin")
+    for (a, b), count in ordered.top(10):
+        print(f"  records {a:4d} and {b:4d}: {count} shared tokens")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed editable (``pip install -e .``) in offline
+environments where PEP 517 build isolation cannot download build
+dependencies.
+"""
+
+from setuptools import setup
+
+setup()

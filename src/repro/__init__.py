@@ -1,0 +1,63 @@
+"""repro — Fast join-project query evaluation using matrix multiplication.
+
+This package is a from-scratch Python reproduction of the system described in
+"Fast Join Project Query Evaluation using Matrix Multiplication"
+(Deep, Hu, Koutris — SIGMOD 2020).  It provides:
+
+* ``repro.data`` — binary relation storage, degree indexes, synthetic dataset
+  generators that mirror the paper's evaluation datasets.
+* ``repro.joins`` — worst-case optimal join algorithms (hash, sort-merge,
+  leapfrog-style multiway intersection, generic join) and the combinatorial
+  output-sensitive baseline.
+* ``repro.matmul`` — dense/sparse/blocked/Strassen matrix multiplication
+  kernels and a calibrated cost model.
+* ``repro.core`` — the paper's contribution: degree partitioning, the MMJoin
+  two-path and star algorithms, output-size estimation, the cost-based
+  optimizer and the boolean-set-intersection batch scheduler.
+* ``repro.setops`` — set similarity join (SizeAware, SizeAware++, MMJoin),
+  ordered SSJ and set containment join (PRETTI, LIMIT+, PIEJoin, MMJoin).
+* ``repro.engines`` — baseline query engines that stand in for the DBMSs the
+  paper compares against.
+* ``repro.bench`` — the harness that regenerates every table and figure.
+
+Quickstart
+----------
+
+>>> from repro import Relation, two_path_join
+>>> R = Relation.from_pairs([(1, 10), (2, 10), (3, 11)], name="R")
+>>> sorted(two_path_join(R, R).pairs())
+[(1, 1), (1, 2), (2, 1), (2, 2), (3, 3)]
+"""
+
+from repro.data.relation import Relation
+from repro.data.catalog import Catalog
+from repro.data.setfamily import SetFamily
+from repro.core.two_path import MMJoinResult, two_path_join, two_path_join_detailed
+from repro.core.star import star_join
+from repro.core.optimizer import CostBasedOptimizer, OptimizerDecision
+from repro.core.config import MMJoinConfig
+from repro.core.bsi import BooleanSetIntersection, BSIBatchScheduler
+from repro.setops.ssj import set_similarity_join
+from repro.setops.ssj_ordered import ordered_set_similarity_join
+from repro.setops.scj import set_containment_join
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Relation",
+    "Catalog",
+    "SetFamily",
+    "MMJoinResult",
+    "two_path_join",
+    "two_path_join_detailed",
+    "star_join",
+    "CostBasedOptimizer",
+    "OptimizerDecision",
+    "MMJoinConfig",
+    "BooleanSetIntersection",
+    "BSIBatchScheduler",
+    "set_similarity_join",
+    "ordered_set_similarity_join",
+    "set_containment_join",
+    "__version__",
+]

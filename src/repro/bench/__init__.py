@@ -1,0 +1,18 @@
+"""Benchmark harness: dataset registry, timing runner and paper-style reports."""
+
+from repro.bench.datasets import BENCH_SCALE, bench_dataset, bench_datasets, table2_rows
+from repro.bench.runner import Measurement, time_call, run_series
+from repro.bench.report import format_table, format_series, print_table
+
+__all__ = [
+    "BENCH_SCALE",
+    "bench_dataset",
+    "bench_datasets",
+    "table2_rows",
+    "Measurement",
+    "time_call",
+    "run_series",
+    "format_table",
+    "format_series",
+    "print_table",
+]

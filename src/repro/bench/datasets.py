@@ -1,0 +1,54 @@
+"""Dataset registry for the benchmark harness.
+
+Every benchmark figure runs over the scaled-down analogues of the paper's six
+datasets.  The registry caches generated relations per (name, scale, seed) so
+the many benchmark modules share one copy, and exposes the Table 2 rows.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+from repro.data.generators import generate_dataset, list_profiles
+from repro.data.relation import Relation
+from repro.data.setfamily import SetFamily
+
+# Global scale factor for benchmark datasets.  Override with the environment
+# variable REPRO_BENCH_SCALE to run larger (or smaller) instances.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+
+_CACHE: Dict[Tuple[str, float, int], Relation] = {}
+
+
+def bench_dataset(name: str, scale: float = BENCH_SCALE, seed: int = 7) -> Relation:
+    """One of the six paper datasets at benchmark scale (cached)."""
+    key = (name, float(scale), int(seed))
+    if key not in _CACHE:
+        _CACHE[key] = generate_dataset(name, scale=scale, seed=seed)
+    return _CACHE[key]
+
+
+def bench_datasets(scale: float = BENCH_SCALE, seed: int = 7) -> Dict[str, Relation]:
+    """All six datasets at benchmark scale, in the Table 2 order."""
+    return {name: bench_dataset(name, scale=scale, seed=seed) for name in list_profiles()}
+
+
+def bench_family(name: str, scale: float = BENCH_SCALE, seed: int = 7) -> SetFamily:
+    """A dataset wrapped as a set family (for the SSJ/SCJ benchmarks)."""
+    return SetFamily.from_relation(bench_dataset(name, scale=scale, seed=seed))
+
+
+def dataset_names() -> List[str]:
+    """The six dataset names in the paper's Table 2 order."""
+    return list_profiles()
+
+
+def table2_rows(scale: float = BENCH_SCALE, seed: int = 7) -> List[Dict[str, float]]:
+    """Regenerate Table 2: one statistics row per dataset."""
+    rows: List[Dict[str, float]] = []
+    for name, relation in bench_datasets(scale=scale, seed=seed).items():
+        row: Dict[str, float] = {"dataset": name}
+        row.update(relation.stats().as_row())
+        rows.append(row)
+    return rows

@@ -1,0 +1,76 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benchmarks print the same rows / series the paper's tables and figures
+report, so EXPERIMENTS.md can be filled by copying the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {col: len(str(col)) for col in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for col in columns:
+            cell = row.get(col, "")
+            text = _format_cell(cell)
+            widths[col] = max(widths[col], len(text))
+            rendered.append(text)
+        rendered_rows.append(rendered)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[col]) for cell, col in zip(rendered, columns)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[Tuple[object, float]]],
+    x_label: str = "x",
+    y_label: str = "seconds",
+    title: str = "",
+) -> str:
+    """Render one or more (x, y) series as a text table (one column per series)."""
+    xs: List[object] = []
+    for points in series.values():
+        for x, _ in points:
+            if x not in xs:
+                xs.append(x)
+    rows: List[Dict[str, object]] = []
+    for x in xs:
+        row: Dict[str, object] = {x_label: x}
+        for name, points in series.items():
+            lookup = {px: py for px, py in points}
+            if x in lookup:
+                row[name] = lookup[x]
+        rows.append(row)
+    header = f"{title} ({y_label})" if title else ""
+    return format_table(rows, title=header)
+
+
+def print_table(rows: Sequence[Mapping[str, object]], title: str = "") -> None:
+    """Print a dict-rows table (convenience for benchmarks and examples)."""
+    print(format_table(rows, title=title))
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e6):
+            return f"{cell:.3e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".") if "." in f"{cell:.4f}" else f"{cell:.4f}"
+    return str(cell)

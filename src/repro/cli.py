@@ -1,0 +1,134 @@
+"""Command-line interface for the reproduction.
+
+Three subcommands cover the common workflows without writing any Python:
+
+* ``repro-cli join <edge-list>`` — evaluate the 2-path join-project over an
+  edge-list file and report the output size, strategy and timings;
+* ``repro-cli ssj <edge-list> --overlap C`` — run the set similarity join
+  with a chosen method;
+* ``repro-cli datasets`` — regenerate the Table 2 dataset-statistics rows.
+
+The CLI is intentionally thin: it parses arguments, calls the same public API
+the examples use, and prints paper-style tables via :mod:`repro.bench.report`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.report import format_table
+from repro.core.config import MMJoinConfig
+from repro.core.two_path import two_path_join
+from repro.data.loaders import load_edge_list
+from repro.data.setfamily import SetFamily
+from repro.setops.scj import SCJ_METHODS, set_containment_join
+from repro.setops.ssj import SSJ_METHODS, set_similarity_join
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Fast join-project query evaluation using matrix multiplication",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    join = sub.add_parser("join", help="evaluate the 2-path join-project over an edge list")
+    join.add_argument("path", help="edge-list file (x y per line)")
+    join.add_argument("--delta1", type=int, default=None, help="degree threshold for y")
+    join.add_argument("--delta2", type=int, default=None, help="degree threshold for x/z")
+    join.add_argument("--backend", choices=["auto", "dense", "sparse"], default="auto")
+    join.add_argument("--no-optimizer", action="store_true",
+                      help="force the plain worst-case optimal join")
+
+    ssj = sub.add_parser("ssj", help="set similarity join over an edge list (set_id element)")
+    ssj.add_argument("path")
+    ssj.add_argument("--overlap", "-c", type=int, default=1)
+    ssj.add_argument("--method", choices=list(SSJ_METHODS), default="mmjoin")
+
+    scj = sub.add_parser("scj", help="set containment join over an edge list (set_id element)")
+    scj.add_argument("path")
+    scj.add_argument("--method", choices=list(SCJ_METHODS), default="mmjoin")
+
+    datasets = sub.add_parser("datasets", help="print the Table 2 dataset statistics")
+    datasets.add_argument("--scale", type=float, default=0.12)
+
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> MMJoinConfig:
+    config = MMJoinConfig(matrix_backend=args.backend)
+    if args.delta1 is not None and args.delta2 is not None:
+        config = config.with_thresholds(args.delta1, args.delta2)
+    if args.no_optimizer:
+        config = config.without_optimizer()
+    return config
+
+
+def _run_join(args: argparse.Namespace) -> int:
+    relation = load_edge_list(args.path)
+    result = two_path_join(relation, relation, config=_config_from_args(args))
+    rows = [{
+        "tuples": len(relation),
+        "output_pairs": len(result),
+        "strategy": result.strategy,
+        "delta1": result.delta1,
+        "delta2": result.delta2,
+        "matrix_dims": str(result.matrix_dims),
+        "seconds": result.timings.get("total", 0.0),
+    }]
+    print(format_table(rows, title=f"2-path join-project over {args.path}"))
+    return 0
+
+
+def _run_ssj(args: argparse.Namespace) -> int:
+    family = SetFamily.from_relation(load_edge_list(args.path))
+    result = set_similarity_join(family, c=args.overlap, method=args.method)
+    rows = [{
+        "sets": family.num_sets(),
+        "overlap_c": args.overlap,
+        "method": args.method,
+        "similar_pairs": len(result),
+        "seconds": result.timings.get("total", 0.0),
+    }]
+    print(format_table(rows, title=f"set similarity join over {args.path}"))
+    return 0
+
+
+def _run_scj(args: argparse.Namespace) -> int:
+    family = SetFamily.from_relation(load_edge_list(args.path))
+    result = set_containment_join(family, method=args.method)
+    rows = [{
+        "sets": family.num_sets(),
+        "method": args.method,
+        "containment_pairs": len(result),
+        "seconds": result.timings.get("total", 0.0),
+    }]
+    print(format_table(rows, title=f"set containment join over {args.path}"))
+    return 0
+
+
+def _run_datasets(args: argparse.Namespace) -> int:
+    from repro.bench.datasets import table2_rows
+
+    rows = table2_rows(scale=args.scale)
+    print(format_table(rows, title=f"Table 2 dataset characteristics (scale={args.scale})"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "join": _run_join,
+        "ssj": _run_ssj,
+        "scj": _run_scj,
+        "datasets": _run_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

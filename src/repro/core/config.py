@@ -1,0 +1,104 @@
+"""Configuration knobs for the MMJoin algorithms.
+
+All tunables of the paper's prototype are gathered in one immutable dataclass
+so experiments (and the ablation benchmarks) can state exactly which variant
+they run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+MATRIX_BACKENDS = ("dense", "sparse", "auto")
+DEDUP_STRATEGIES = ("hash", "sort", "counter", "auto")
+
+
+@dataclass(frozen=True)
+class MMJoinConfig:
+    """Tunables of the MMJoin evaluation pipeline.
+
+    Attributes
+    ----------
+    delta1:
+        Degree threshold for the join variable ``y``.  ``None`` lets the
+        cost-based optimizer choose.
+    delta2:
+        Degree threshold for the head variables (``x`` / ``z`` / ``x_i``).
+        ``None`` lets the optimizer choose.
+    full_join_factor:
+        If the full join is at most ``full_join_factor * |D|`` the optimizer
+        skips partitioning and evaluates the plain worst-case optimal join
+        (the paper uses 20).
+    matrix_backend:
+        ``dense`` (numpy), ``sparse`` (scipy CSR) or ``auto`` (dense when the
+        heavy sub-matrix density is above ``sparse_density_threshold``).
+    sparse_density_threshold:
+        Density cut-over used by the ``auto`` backend.
+    dedup_strategy:
+        Strategy for light-part deduplication (see
+        :class:`repro.joins.project.Deduplicator`).
+    cores:
+        Number of cores the parallel executor may use; also fed to the
+        matmul cost model.
+    optimizer_shrink:
+        Geometric factor by which the optimizer shrinks ``delta1`` per
+        iteration (the paper's ``1 - epsilon``).
+    max_heavy_dimension:
+        Safety cap on the number of heavy values per matrix dimension; keeps
+        the dense matrices within memory on very skewed inputs.
+    use_optimizer:
+        When False and thresholds are given, they are used verbatim; when
+        True the cost-based optimizer may still fall back to the plain WCOJ.
+    """
+
+    delta1: Optional[int] = None
+    delta2: Optional[int] = None
+    full_join_factor: float = 20.0
+    matrix_backend: str = "auto"
+    sparse_density_threshold: float = 0.05
+    dedup_strategy: str = "auto"
+    cores: int = 1
+    optimizer_shrink: float = 0.5
+    max_heavy_dimension: int = 20_000
+    use_optimizer: bool = True
+
+    def __post_init__(self) -> None:
+        if self.matrix_backend not in MATRIX_BACKENDS:
+            raise ValueError(
+                f"matrix_backend must be one of {MATRIX_BACKENDS}, got {self.matrix_backend!r}"
+            )
+        if self.dedup_strategy not in DEDUP_STRATEGIES:
+            raise ValueError(
+                f"dedup_strategy must be one of {DEDUP_STRATEGIES}, got {self.dedup_strategy!r}"
+            )
+        if not (0.0 < self.optimizer_shrink < 1.0):
+            raise ValueError("optimizer_shrink must lie strictly between 0 and 1")
+        if self.full_join_factor <= 0:
+            raise ValueError("full_join_factor must be positive")
+        if self.cores < 1:
+            raise ValueError("cores must be at least 1")
+        if self.delta1 is not None and self.delta1 < 1:
+            raise ValueError("delta1 must be at least 1")
+        if self.delta2 is not None and self.delta2 < 1:
+            raise ValueError("delta2 must be at least 1")
+
+    def with_thresholds(self, delta1: int, delta2: int) -> "MMJoinConfig":
+        """Return a copy with fixed degree thresholds."""
+        return replace(self, delta1=int(delta1), delta2=int(delta2))
+
+    def with_cores(self, cores: int) -> "MMJoinConfig":
+        """Return a copy with a different core count."""
+        return replace(self, cores=int(cores))
+
+    def with_backend(self, backend: str) -> "MMJoinConfig":
+        """Return a copy with a different matrix backend."""
+        return replace(self, matrix_backend=backend)
+
+    def without_optimizer(self) -> "MMJoinConfig":
+        """Return a copy that will not run the cost-based optimizer."""
+        return replace(self, use_optimizer=False)
+
+
+DEFAULT_CONFIG = MMJoinConfig()

@@ -1,0 +1,18 @@
+"""Data substrate: relations, indexes, catalogs, generators and loaders."""
+
+from repro.data.relation import Relation
+from repro.data.indexes import DegreeIndex, DegreeStatistics
+from repro.data.catalog import Catalog
+from repro.data.setfamily import SetFamily
+from repro.data import generators
+from repro.data import loaders
+
+__all__ = [
+    "Relation",
+    "DegreeIndex",
+    "DegreeStatistics",
+    "Catalog",
+    "SetFamily",
+    "generators",
+    "loaders",
+]

@@ -1,0 +1,324 @@
+"""Synthetic dataset generators.
+
+The paper evaluates on six real-world datasets (Table 2): DBLP, RoadNet,
+Jokes, Words, Protein and Image.  Those datasets are not redistributable and
+are far too large for a laptop-scale reproduction, so this module provides
+parameterised generators that reproduce the *shape* of each dataset — the
+number of sets, domain size, average / min / max set size and the degree skew
+— at a configurable scale.  The relative behaviour of every algorithm in the
+paper is governed by exactly these properties (degree skew, density, and the
+ratio between the full join size and the projected output size), so the
+substitution preserves the qualitative results.
+
+Every generator is deterministic given its ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.relation import Relation
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """The shape parameters of one synthetic dataset.
+
+    Attributes mirror Table 2 of the paper: target number of (set, element)
+    tuples, number of sets, domain (element) cardinality, and the min/max set
+    sizes.  ``skew`` controls the Zipf exponent of element popularity, and
+    ``density`` the within-community edge probability for clustered datasets.
+    """
+
+    name: str
+    num_tuples: int
+    num_sets: int
+    domain_size: int
+    min_set_size: int
+    max_set_size: int
+    skew: float = 1.0
+    density: float = 0.0
+    kind: str = "zipf"  # one of: zipf, sparse, roadnet, community
+
+
+# Scaled-down profiles of the paper's six datasets.  The paper's sizes (10M to
+# 900M tuples) are divided down to keep single runs in the seconds range; the
+# set-size ratios and skew are preserved.
+PAPER_PROFILES: Dict[str, DatasetProfile] = {
+    "dblp": DatasetProfile(
+        name="dblp", num_tuples=60_000, num_sets=9_000, domain_size=18_000,
+        min_set_size=1, max_set_size=100, skew=0.8, kind="sparse",
+    ),
+    "roadnet": DatasetProfile(
+        name="roadnet", num_tuples=15_000, num_sets=10_000, domain_size=10_000,
+        min_set_size=1, max_set_size=6, skew=0.0, kind="roadnet",
+    ),
+    "jokes": DatasetProfile(
+        name="jokes", num_tuples=120_000, num_sets=700, domain_size=500,
+        min_set_size=30, max_set_size=450, skew=1.1, kind="zipf",
+    ),
+    "words": DatasetProfile(
+        name="words", num_tuples=150_000, num_sets=3_000, domain_size=1_500,
+        min_set_size=1, max_set_size=400, skew=1.2, kind="zipf",
+    ),
+    "protein": DatasetProfile(
+        name="protein", num_tuples=180_000, num_sets=1_800, domain_size=1_600,
+        min_set_size=20, max_set_size=550, skew=0.9, kind="community",
+        density=0.6,
+    ),
+    "image": DatasetProfile(
+        name="image", num_tuples=160_000, num_sets=2_000, domain_size=1_400,
+        min_set_size=100, max_set_size=480, skew=0.4, kind="community",
+        density=0.7,
+    ),
+}
+
+
+def list_profiles() -> List[str]:
+    """Names of the built-in dataset profiles, in the paper's Table 2 order."""
+    return ["dblp", "roadnet", "jokes", "words", "protein", "image"]
+
+
+def scaled_profile(name: str, scale: float) -> DatasetProfile:
+    """Return a built-in profile scaled by ``scale`` (tuples / sets / domain)."""
+    base = PAPER_PROFILES[name]
+    factor = max(scale, 1e-3)
+    return DatasetProfile(
+        name=base.name,
+        num_tuples=max(int(base.num_tuples * factor), 10),
+        num_sets=max(int(base.num_sets * factor), 4),
+        domain_size=max(int(base.domain_size * factor), 4),
+        min_set_size=base.min_set_size,
+        max_set_size=max(int(base.max_set_size * min(1.0, factor * 2)), base.min_set_size + 1),
+        skew=base.skew,
+        density=base.density,
+        kind=base.kind,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Low level generators
+# --------------------------------------------------------------------------- #
+def zipf_bipartite(
+    num_tuples: int,
+    num_sets: int,
+    domain_size: int,
+    skew: float = 1.0,
+    seed: int = 0,
+    name: str = "R",
+) -> Relation:
+    """Bipartite relation where element popularity follows a Zipf law.
+
+    Element ``j`` (rank ``j``) is sampled with probability proportional to
+    ``1 / (j+1)^skew``; set ids are sampled with a milder skew so that set
+    sizes vary but no single set dominates.
+    """
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, max(skew, 0.0))
+    weights /= weights.sum()
+    elements = rng.choice(domain_size, size=num_tuples, p=weights)
+    set_ranks = np.arange(1, num_sets + 1, dtype=np.float64)
+    set_weights = 1.0 / np.power(set_ranks, max(skew, 0.0) * 0.5)
+    set_weights /= set_weights.sum()
+    sets = rng.choice(num_sets, size=num_tuples, p=set_weights)
+    return Relation.from_arrays(sets, elements, name=name)
+
+
+def uniform_bipartite(
+    num_tuples: int,
+    num_sets: int,
+    domain_size: int,
+    seed: int = 0,
+    name: str = "R",
+) -> Relation:
+    """Uniformly random bipartite relation (no skew)."""
+    rng = np.random.default_rng(seed)
+    sets = rng.integers(0, num_sets, size=num_tuples)
+    elements = rng.integers(0, domain_size, size=num_tuples)
+    return Relation.from_arrays(sets, elements, name=name)
+
+
+def sparse_bipartite(
+    num_tuples: int,
+    num_sets: int,
+    domain_size: int,
+    max_set_size: int,
+    skew: float = 0.8,
+    seed: int = 0,
+    name: str = "R",
+) -> Relation:
+    """Sparse DBLP-like bipartite relation: many small sets, a few large ones.
+
+    Set sizes follow a truncated Pareto distribution; elements are drawn with
+    a mild Zipf skew so a handful of "popular venues" exist.
+    """
+    rng = np.random.default_rng(seed)
+    raw_sizes = rng.pareto(1.5, size=num_sets) + 1.0
+    sizes = np.clip(raw_sizes.astype(np.int64), 1, max_set_size)
+    total = int(sizes.sum())
+    if total > num_tuples:
+        sizes = np.maximum((sizes * (num_tuples / total)).astype(np.int64), 1)
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, max(skew, 0.0))
+    weights /= weights.sum()
+    xs: List[np.ndarray] = []
+    ys: List[np.ndarray] = []
+    for set_id, size in enumerate(sizes):
+        elems = rng.choice(domain_size, size=int(size), p=weights)
+        xs.append(np.full(int(size), set_id, dtype=np.int64))
+        ys.append(elems.astype(np.int64))
+    return Relation.from_arrays(np.concatenate(xs), np.concatenate(ys), name=name)
+
+
+def roadnet_graph(
+    num_nodes: int,
+    avg_degree: float = 1.5,
+    seed: int = 0,
+    name: str = "R",
+) -> Relation:
+    """Road-network-like relation: near-planar, tiny bounded degrees.
+
+    Nodes are placed on a grid and connected to a few nearby nodes, which
+    reproduces the RoadNet profile (average degree about 1.5, max about 20).
+    """
+    rng = np.random.default_rng(seed)
+    side = max(int(np.sqrt(num_nodes)), 2)
+    xs: List[int] = []
+    ys: List[int] = []
+    for node in range(num_nodes):
+        row, col = divmod(node, side)
+        # connect to right and down neighbours (grid backbone)
+        if col + 1 < side and node + 1 < num_nodes:
+            xs.append(node)
+            ys.append(node + 1)
+        if row + 1 < side and node + side < num_nodes:
+            xs.append(node)
+            ys.append(node + side)
+        # occasional shortcut edge
+        extra = rng.random()
+        if extra < max(avg_degree - 1.5, 0.0):
+            target = int(rng.integers(0, num_nodes))
+            if target != node:
+                xs.append(node)
+                ys.append(target)
+    return Relation.from_arrays(xs, ys, name=name)
+
+
+def community_bipartite(
+    num_sets: int,
+    domain_size: int,
+    num_communities: int = 8,
+    density: float = 0.5,
+    background_noise: float = 0.002,
+    seed: int = 0,
+    name: str = "R",
+) -> Relation:
+    """Dense community-structured bipartite relation (Image/Protein-like).
+
+    Sets and elements are split into ``num_communities`` groups; within a
+    group each (set, element) pair is present with probability ``density``,
+    and across groups with probability ``background_noise``.  This is also
+    the instance family from Example 1 of the paper, where the full join is
+    Theta(N^{3/2}) but the projected output is only Theta(N).
+    """
+    rng = np.random.default_rng(seed)
+    set_comm = rng.integers(0, num_communities, size=num_sets)
+    elem_comm = rng.integers(0, num_communities, size=domain_size)
+    xs: List[np.ndarray] = []
+    ys: List[np.ndarray] = []
+    for comm in range(num_communities):
+        comm_sets = np.where(set_comm == comm)[0]
+        comm_elems = np.where(elem_comm == comm)[0]
+        if comm_sets.size == 0 or comm_elems.size == 0:
+            continue
+        mask = rng.random((comm_sets.size, comm_elems.size)) < density
+        rows, cols = np.nonzero(mask)
+        xs.append(comm_sets[rows])
+        ys.append(comm_elems[cols])
+    # sparse background noise across communities
+    noise_count = int(background_noise * num_sets * domain_size)
+    if noise_count:
+        xs.append(rng.integers(0, num_sets, size=noise_count))
+        ys.append(rng.integers(0, domain_size, size=noise_count))
+    if not xs:
+        return Relation.empty(name)
+    return Relation.from_arrays(np.concatenate(xs), np.concatenate(ys), name=name)
+
+
+def example1_instance(n: int, num_communities: int = 4, seed: int = 0) -> Relation:
+    """The motivating instance of paper Example 1.
+
+    A social graph with a constant number of communities of ~sqrt(N) users
+    each, with most intra-community pairs connected: the full join of
+    ``R(x,y), R(z,y)`` is Theta(N^{3/2}) while the projected output is
+    Theta(N).
+    """
+    users_per_comm = max(int(np.sqrt(n / max(num_communities, 1))), 2)
+    num_users = users_per_comm * num_communities
+    return community_bipartite(
+        num_sets=num_users,
+        domain_size=num_users,
+        num_communities=num_communities,
+        density=0.8,
+        background_noise=0.0,
+        seed=seed,
+        name="example1",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Profile-driven generation
+# --------------------------------------------------------------------------- #
+def generate(profile: DatasetProfile, seed: int = 0) -> Relation:
+    """Generate a relation from a :class:`DatasetProfile`."""
+    if profile.kind == "sparse":
+        return sparse_bipartite(
+            num_tuples=profile.num_tuples,
+            num_sets=profile.num_sets,
+            domain_size=profile.domain_size,
+            max_set_size=profile.max_set_size,
+            skew=profile.skew,
+            seed=seed,
+            name=profile.name,
+        )
+    if profile.kind == "roadnet":
+        return roadnet_graph(
+            num_nodes=profile.num_sets, avg_degree=1.5, seed=seed, name=profile.name
+        )
+    if profile.kind == "community":
+        return community_bipartite(
+            num_sets=profile.num_sets,
+            domain_size=profile.domain_size,
+            num_communities=6,
+            density=profile.density,
+            seed=seed,
+            name=profile.name,
+        )
+    if profile.kind == "zipf":
+        return zipf_bipartite(
+            num_tuples=profile.num_tuples,
+            num_sets=profile.num_sets,
+            domain_size=profile.domain_size,
+            skew=profile.skew,
+            seed=seed,
+            name=profile.name,
+        )
+    raise ValueError(f"unknown dataset kind {profile.kind!r}")
+
+
+def generate_dataset(name: str, scale: float = 1.0, seed: int = 0) -> Relation:
+    """Generate one of the paper's six datasets (scaled)."""
+    if name not in PAPER_PROFILES:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose one of {list_profiles()}"
+        )
+    return generate(scaled_profile(name, scale), seed=seed)
+
+
+def generate_all(scale: float = 1.0, seed: int = 0) -> Dict[str, Relation]:
+    """Generate every paper dataset at the given scale."""
+    return {name: generate_dataset(name, scale=scale, seed=seed) for name in list_profiles()}

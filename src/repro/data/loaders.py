@@ -1,0 +1,134 @@
+"""Loading and saving relations from/to simple on-disk formats.
+
+Real deployments would load edge lists such as the SNAP RoadNet file or the
+UCI bag-of-words dataset.  These loaders accept the common textual formats so
+a user can point the library at their own data:
+
+* whitespace- or comma-separated edge lists (``x y`` per line, ``#`` comments),
+* "transaction" files where each line is one set (elements separated by
+  whitespace), as used by frequent-itemset benchmarks.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.relation import Relation
+
+PathLike = Union[str, Path]
+
+
+class LoaderError(ValueError):
+    """Raised when an input file cannot be parsed."""
+
+
+def _open_text(path: PathLike) -> io.TextIOWrapper:
+    return open(Path(path), "r", encoding="utf-8")
+
+
+def load_edge_list(
+    path: PathLike,
+    delimiter: Optional[str] = None,
+    comment: str = "#",
+    name: Optional[str] = None,
+) -> Relation:
+    """Load a relation from an edge-list file.
+
+    Each non-comment line must contain two integer fields.  ``delimiter`` of
+    ``None`` splits on arbitrary whitespace (the SNAP convention).
+    """
+    xs: List[int] = []
+    ys: List[int] = []
+    with _open_text(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comment):
+                continue
+            fields = line.split(delimiter) if delimiter else line.split()
+            if len(fields) < 2:
+                raise LoaderError(f"{path}:{lineno}: expected two fields, got {line!r}")
+            try:
+                xs.append(int(fields[0]))
+                ys.append(int(fields[1]))
+            except ValueError as exc:
+                raise LoaderError(f"{path}:{lineno}: non-integer field in {line!r}") from exc
+    rel_name = name or Path(path).stem
+    if not xs:
+        return Relation.empty(rel_name)
+    return Relation.from_arrays(xs, ys, name=rel_name)
+
+
+def load_csv(
+    path: PathLike,
+    x_column: Union[int, str] = 0,
+    y_column: Union[int, str] = 1,
+    has_header: bool = False,
+    name: Optional[str] = None,
+) -> Relation:
+    """Load a relation from a CSV file, selecting two columns by index or name."""
+    xs: List[int] = []
+    ys: List[int] = []
+    with _open_text(path) as handle:
+        reader = csv.reader(handle)
+        header: Optional[List[str]] = None
+        for lineno, row in enumerate(reader, start=1):
+            if not row:
+                continue
+            if has_header and header is None:
+                header = [field.strip() for field in row]
+                continue
+            x_idx = header.index(x_column) if isinstance(x_column, str) and header else int(x_column)
+            y_idx = header.index(y_column) if isinstance(y_column, str) and header else int(y_column)
+            try:
+                xs.append(int(row[x_idx]))
+                ys.append(int(row[y_idx]))
+            except (ValueError, IndexError) as exc:
+                raise LoaderError(f"{path}:{lineno}: bad row {row!r}") from exc
+    rel_name = name or Path(path).stem
+    if not xs:
+        return Relation.empty(rel_name)
+    return Relation.from_arrays(xs, ys, name=rel_name)
+
+
+def load_transactions(path: PathLike, name: Optional[str] = None) -> Relation:
+    """Load a set family from a transactions file (one set per line)."""
+    sets: Dict[int, List[int]] = {}
+    with _open_text(path) as handle:
+        for set_id, raw in enumerate(handle):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                sets[set_id] = [int(tok) for tok in line.split()]
+            except ValueError as exc:
+                raise LoaderError(f"{path}:{set_id + 1}: non-integer element") from exc
+    rel_name = name or Path(path).stem
+    return Relation.from_set_family(sets, name=rel_name)
+
+
+def save_edge_list(relation: Relation, path: PathLike, delimiter: str = "\t") -> None:
+    """Write a relation to an edge-list file."""
+    with open(Path(path), "w", encoding="utf-8") as handle:
+        handle.write(f"# relation {relation.name}: {len(relation)} tuples\n")
+        for x, y in relation:
+            handle.write(f"{x}{delimiter}{y}\n")
+
+
+def save_transactions(relation: Relation, path: PathLike) -> None:
+    """Write a relation to a transactions file (one set per line, sorted ids)."""
+    index = relation.index_x()
+    with open(Path(path), "w", encoding="utf-8") as handle:
+        for set_id in sorted(index):
+            elems = " ".join(str(int(e)) for e in index[set_id])
+            handle.write(elems + "\n")
+
+
+def roundtrip_edge_list(relation: Relation, path: PathLike) -> Relation:
+    """Save and immediately reload a relation (useful in tests)."""
+    save_edge_list(relation, path)
+    return load_edge_list(path, name=relation.name)

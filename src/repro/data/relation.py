@@ -1,0 +1,446 @@
+"""Binary relation storage.
+
+The whole paper operates on binary relations ``R(x, y)`` over integer domains
+(a bipartite graph: set-id ``x`` contains element ``y``, or author ``x`` wrote
+paper ``y``).  :class:`Relation` stores such a relation as a deduplicated
+``(n, 2)`` integer array and lazily builds the indexes that every algorithm in
+the paper assumes:
+
+* an index from each ``x`` value to the sorted array of its ``y`` neighbours,
+* the symmetric index from ``y`` to its ``x`` neighbours,
+* per-value degree arrays for both columns.
+
+Construction is linear (modulo sorting) and all indexes are built once and
+cached, which corresponds to the paper's "indexing relations" preprocessing
+step (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+Pair = Tuple[int, int]
+
+
+class RelationError(ValueError):
+    """Raised when a relation is constructed or used incorrectly."""
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Summary statistics of a binary relation.
+
+    Mirrors the columns of Table 2 in the paper: number of tuples, number of
+    distinct sets (``x`` values), domain size of the element column (``y``),
+    and the average / min / max set size.
+    """
+
+    num_tuples: int
+    num_sets: int
+    domain_size: int
+    avg_set_size: float
+    min_set_size: int
+    max_set_size: int
+
+    def as_row(self) -> Dict[str, float]:
+        """Return the statistics as a flat dict (one row of Table 2)."""
+        return {
+            "tuples": self.num_tuples,
+            "sets": self.num_sets,
+            "dom": self.domain_size,
+            "avg_set_size": round(self.avg_set_size, 2),
+            "min_set_size": self.min_set_size,
+            "max_set_size": self.max_set_size,
+        }
+
+
+class Relation:
+    """A deduplicated binary relation ``R(x, y)`` over integer values.
+
+    Parameters
+    ----------
+    pairs:
+        An ``(n, 2)`` integer array of tuples.  Duplicates are removed.
+    name:
+        Optional human-readable name used in plans and reports.
+    sorted_dedup:
+        Internal flag: set to ``True`` when the caller guarantees that
+        ``pairs`` is already lexicographically sorted and deduplicated.
+    """
+
+    __slots__ = (
+        "name",
+        "_data",
+        "_index_x",
+        "_index_y",
+        "_x_values",
+        "_y_values",
+        "_deg_x",
+        "_deg_y",
+    )
+
+    def __init__(
+        self,
+        pairs: np.ndarray,
+        name: str = "R",
+        *,
+        sorted_dedup: bool = False,
+    ) -> None:
+        arr = np.asarray(pairs, dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise RelationError(
+                f"relation data must be an (n, 2) array, got shape {arr.shape}"
+            )
+        if not sorted_dedup and len(arr):
+            arr = np.unique(arr, axis=0)
+        self.name = name
+        self._data = arr
+        self._index_x: Optional[Dict[int, np.ndarray]] = None
+        self._index_y: Optional[Dict[int, np.ndarray]] = None
+        self._x_values: Optional[np.ndarray] = None
+        self._y_values: Optional[np.ndarray] = None
+        self._deg_x: Optional[Dict[int, int]] = None
+        self._deg_y: Optional[Dict[int, int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Pair], name: str = "R") -> "Relation":
+        """Build a relation from an iterable of ``(x, y)`` tuples."""
+        data = list(pairs)
+        if not data:
+            return cls(np.empty((0, 2), dtype=np.int64), name=name)
+        return cls(np.asarray(data, dtype=np.int64), name=name)
+
+    @classmethod
+    def from_arrays(
+        cls, xs: Sequence[int], ys: Sequence[int], name: str = "R"
+    ) -> "Relation":
+        """Build a relation from two parallel columns."""
+        xs_arr = np.asarray(xs, dtype=np.int64)
+        ys_arr = np.asarray(ys, dtype=np.int64)
+        if xs_arr.shape != ys_arr.shape:
+            raise RelationError("column arrays must have the same length")
+        return cls(np.column_stack([xs_arr, ys_arr]), name=name)
+
+    @classmethod
+    def from_set_family(
+        cls, sets: Mapping[int, Iterable[int]], name: str = "R"
+    ) -> "Relation":
+        """Build a relation from a mapping ``set-id -> elements``."""
+        xs: List[int] = []
+        ys: List[int] = []
+        for set_id, elements in sets.items():
+            for element in elements:
+                xs.append(set_id)
+                ys.append(element)
+        if not xs:
+            return cls(np.empty((0, 2), dtype=np.int64), name=name)
+        return cls.from_arrays(xs, ys, name=name)
+
+    @classmethod
+    def empty(cls, name: str = "R") -> "Relation":
+        """Return an empty relation."""
+        return cls(np.empty((0, 2), dtype=np.int64), name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self._data.shape[0])
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[Pair]:
+        for x, y in self._data:
+            yield int(x), int(y)
+
+    def __contains__(self, pair: Pair) -> bool:
+        x, y = pair
+        ys = self.neighbors_x(int(x))
+        if ys.size == 0:
+            return False
+        pos = np.searchsorted(ys, int(y))
+        return pos < ys.size and ys[pos] == int(y)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return np.array_equal(self._data, other._data)
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mostly unhashed
+        return hash((self.name, len(self)))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, tuples={len(self)})"
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying ``(n, 2)`` sorted, deduplicated array (read-only view)."""
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def xs(self) -> np.ndarray:
+        """The x column."""
+        return self._data[:, 0]
+
+    @property
+    def ys(self) -> np.ndarray:
+        """The y column."""
+        return self._data[:, 1]
+
+    def pairs(self) -> List[Pair]:
+        """Materialise the relation as a list of python tuples."""
+        return [(int(x), int(y)) for x, y in self._data]
+
+    # ------------------------------------------------------------------ #
+    # Indexes
+    # ------------------------------------------------------------------ #
+    def _build_index(self, column: int) -> Dict[int, np.ndarray]:
+        data = self._data
+        if data.shape[0] == 0:
+            return {}
+        keys = data[:, column]
+        values = data[:, 1 - column]
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        values_sorted = values[order]
+        unique_keys, starts = np.unique(keys_sorted, return_index=True)
+        index: Dict[int, np.ndarray] = {}
+        boundaries = np.append(starts, keys_sorted.size)
+        for i, key in enumerate(unique_keys):
+            chunk = values_sorted[boundaries[i] : boundaries[i + 1]]
+            index[int(key)] = np.sort(chunk)
+        return index
+
+    def index_x(self) -> Dict[int, np.ndarray]:
+        """Index mapping every x value to its sorted array of y neighbours."""
+        if self._index_x is None:
+            self._index_x = self._build_index(0)
+        return self._index_x
+
+    def index_y(self) -> Dict[int, np.ndarray]:
+        """Index mapping every y value to its sorted array of x neighbours."""
+        if self._index_y is None:
+            self._index_y = self._build_index(1)
+        return self._index_y
+
+    def neighbors_x(self, x: int) -> np.ndarray:
+        """Sorted y values paired with ``x`` (empty array if none)."""
+        return self.index_x().get(int(x), _EMPTY)
+
+    def neighbors_y(self, y: int) -> np.ndarray:
+        """Sorted x values paired with ``y`` (empty array if none)."""
+        return self.index_y().get(int(y), _EMPTY)
+
+    def x_values(self) -> np.ndarray:
+        """Sorted distinct x values (``dom(x)`` restricted to the relation)."""
+        if self._x_values is None:
+            self._x_values = np.unique(self._data[:, 0]) if len(self) else _EMPTY
+        return self._x_values
+
+    def y_values(self) -> np.ndarray:
+        """Sorted distinct y values."""
+        if self._y_values is None:
+            self._y_values = np.unique(self._data[:, 1]) if len(self) else _EMPTY
+        return self._y_values
+
+    def degree_x(self, x: int) -> int:
+        """Degree of an x value, i.e. ``|sigma_{x=a} R|``."""
+        return int(self.neighbors_x(x).size)
+
+    def degree_y(self, y: int) -> int:
+        """Degree of a y value, i.e. ``|sigma_{y=b} R|``."""
+        return int(self.neighbors_y(y).size)
+
+    def degrees_x(self) -> Dict[int, int]:
+        """Mapping from every x value to its degree."""
+        if self._deg_x is None:
+            self._deg_x = {k: int(v.size) for k, v in self.index_x().items()}
+        return self._deg_x
+
+    def degrees_y(self) -> Dict[int, int]:
+        """Mapping from every y value to its degree."""
+        if self._deg_y is None:
+            self._deg_y = {k: int(v.size) for k, v in self.index_y().items()}
+        return self._deg_y
+
+    # ------------------------------------------------------------------ #
+    # Algebraic operations
+    # ------------------------------------------------------------------ #
+    def swap(self, name: Optional[str] = None) -> "Relation":
+        """Return the relation with its columns swapped (graph transpose)."""
+        swapped = self._data[:, ::-1]
+        return Relation(swapped, name=name or f"{self.name}^T")
+
+    def filter_pairs(self, mask: np.ndarray, name: Optional[str] = None) -> "Relation":
+        """Return the sub-relation selected by a boolean mask over tuples."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != len(self):
+            raise RelationError("mask length must equal the number of tuples")
+        return Relation(
+            self._data[mask], name=name or self.name, sorted_dedup=True
+        )
+
+    def restrict_x(self, values: Iterable[int], name: Optional[str] = None) -> "Relation":
+        """Return the sub-relation whose x values belong to ``values``."""
+        wanted = np.asarray(sorted(set(int(v) for v in values)), dtype=np.int64)
+        if wanted.size == 0 or len(self) == 0:
+            return Relation.empty(name or self.name)
+        mask = np.isin(self._data[:, 0], wanted)
+        return self.filter_pairs(mask, name=name)
+
+    def restrict_y(self, values: Iterable[int], name: Optional[str] = None) -> "Relation":
+        """Return the sub-relation whose y values belong to ``values``."""
+        wanted = np.asarray(sorted(set(int(v) for v in values)), dtype=np.int64)
+        if wanted.size == 0 or len(self) == 0:
+            return Relation.empty(name or self.name)
+        mask = np.isin(self._data[:, 1], wanted)
+        return self.filter_pairs(mask, name=name)
+
+    def union(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Set union of two relations."""
+        if len(self) == 0:
+            return Relation(other._data, name=name or self.name, sorted_dedup=True)
+        if len(other) == 0:
+            return Relation(self._data, name=name or self.name, sorted_dedup=True)
+        stacked = np.vstack([self._data, other._data])
+        return Relation(stacked, name=name or self.name)
+
+    def difference(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Set difference ``self \\ other``."""
+        if len(self) == 0 or len(other) == 0:
+            return Relation(self._data, name=name or self.name, sorted_dedup=True)
+        # Encode pairs into single integers for a vectorised membership test.
+        shift = max(
+            int(self._data[:, 1].max()), int(other._data[:, 1].max()), 0
+        ) + 1
+        mine = self._data[:, 0] * shift + self._data[:, 1]
+        theirs = other._data[:, 0] * shift + other._data[:, 1]
+        mask = ~np.isin(mine, theirs)
+        return self.filter_pairs(mask, name=name)
+
+    def intersection(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Set intersection of two relations."""
+        if len(self) == 0 or len(other) == 0:
+            return Relation.empty(name or self.name)
+        shift = max(
+            int(self._data[:, 1].max()), int(other._data[:, 1].max()), 0
+        ) + 1
+        mine = self._data[:, 0] * shift + self._data[:, 1]
+        theirs = other._data[:, 0] * shift + other._data[:, 1]
+        mask = np.isin(mine, theirs)
+        return self.filter_pairs(mask, name=name)
+
+    def project_x(self) -> np.ndarray:
+        """Projection onto the x column (sorted distinct values)."""
+        return self.x_values()
+
+    def project_y(self) -> np.ndarray:
+        """Projection onto the y column (sorted distinct values)."""
+        return self.y_values()
+
+    def semijoin_y(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Semijoin: keep tuples whose y value also appears in ``other``'s y column.
+
+        This is the linear-time preprocessing the paper assumes ("we have
+        removed any tuples that do not contribute to the query result").
+        """
+        if len(self) == 0:
+            return Relation.empty(name or self.name)
+        other_ys = other.y_values()
+        mask = np.isin(self._data[:, 1], other_ys)
+        return self.filter_pairs(mask, name=name)
+
+    def sample_tuples(self, k: int, seed: int = 0, name: Optional[str] = None) -> "Relation":
+        """Uniform random sample (without replacement) of ``k`` tuples."""
+        if k >= len(self):
+            return Relation(self._data, name=name or self.name, sorted_dedup=True)
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(self), size=k, replace=False)
+        return Relation(self._data[np.sort(idx)], name=name or self.name, sorted_dedup=True)
+
+    # ------------------------------------------------------------------ #
+    # Statistics and matrix views
+    # ------------------------------------------------------------------ #
+    def stats(self) -> RelationStats:
+        """Compute Table-2-style statistics for this relation."""
+        if len(self) == 0:
+            return RelationStats(0, 0, 0, 0.0, 0, 0)
+        degrees = np.fromiter(
+            (d for d in self.degrees_x().values()), dtype=np.int64
+        )
+        return RelationStats(
+            num_tuples=len(self),
+            num_sets=int(self.x_values().size),
+            domain_size=int(self.y_values().size),
+            avg_set_size=float(degrees.mean()),
+            min_set_size=int(degrees.min()),
+            max_set_size=int(degrees.max()),
+        )
+
+    def full_join_size(self, other: "Relation") -> int:
+        """Size of the full join ``R(x,y) |><| S(z,y)`` before projection.
+
+        Computed in linear time from the per-``y`` degrees of both relations
+        (the paper computes this during the indexing pass).
+        """
+        if len(self) == 0 or len(other) == 0:
+            return 0
+        deg_self = self.degrees_y()
+        deg_other = other.degrees_y()
+        smaller, larger = (
+            (deg_self, deg_other)
+            if len(deg_self) <= len(deg_other)
+            else (deg_other, deg_self)
+        )
+        total = 0
+        for y, d in smaller.items():
+            other_d = larger.get(y)
+            if other_d:
+                total += d * other_d
+        return total
+
+    def adjacency_matrix(
+        self,
+        row_ids: Sequence[int],
+        col_ids: Sequence[int],
+        dtype: np.dtype = np.float32,
+    ) -> np.ndarray:
+        """Materialise the relation restricted to ``row_ids`` x ``col_ids``.
+
+        Rows are x values and columns are y values; the entry is 1.0 when the
+        tuple is present.  This is the matrix-construction step of
+        Algorithm 1 (``M1(x, y) <- R+ adj matrix``).
+        """
+        row_index = {int(v): i for i, v in enumerate(row_ids)}
+        col_index = {int(v): i for i, v in enumerate(col_ids)}
+        matrix = np.zeros((len(row_index), len(col_index)), dtype=dtype)
+        if not row_index or not col_index:
+            return matrix
+        idx_x = self.index_x()
+        for x, row in row_index.items():
+            ys = idx_x.get(x)
+            if ys is None:
+                continue
+            for y in ys:
+                col = col_index.get(int(y))
+                if col is not None:
+                    matrix[row, col] = 1
+        return matrix
+
+    def to_set_dict(self) -> Dict[int, set]:
+        """Return the relation as ``{x: set(y)}`` (the set-family view)."""
+        return {x: set(int(v) for v in ys) for x, ys in self.index_x().items()}
+
+
+_EMPTY = np.empty(0, dtype=np.int64)

@@ -1,0 +1,15 @@
+"""Baseline query engines standing in for the systems the paper compares against."""
+
+from repro.engines.base import EngineResult, QueryEngine
+from repro.engines.sql_engine import SQLLikeEngine
+from repro.engines.setintersection import SetIntersectionEngine
+from repro.engines.registry import available_engines, make_engine
+
+__all__ = [
+    "EngineResult",
+    "QueryEngine",
+    "SQLLikeEngine",
+    "SetIntersectionEngine",
+    "available_engines",
+    "make_engine",
+]

@@ -1,0 +1,60 @@
+"""Common interface for the baseline query engines.
+
+The Figure 4 comparison runs the same two queries — the 2-path join-project
+and the 3-relation star join-project — through several engines.  Every engine
+implements :class:`QueryEngine` so the benchmark harness can treat MMJoin,
+the combinatorial baseline, the SQL-like engines and the set-intersection
+engine uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Set, Tuple
+
+from repro.data.relation import Relation
+
+Pair = Tuple[int, int]
+HeadTuple = Tuple[int, ...]
+
+
+@dataclass
+class EngineResult:
+    """Output and wall-clock time of one engine invocation."""
+
+    pairs: Set[Tuple[int, ...]]
+    seconds: float
+    engine: str
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+class QueryEngine(abc.ABC):
+    """Abstract engine capable of evaluating the paper's two benchmark queries."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def two_path(self, left: Relation, right: Relation) -> Set[Pair]:
+        """Evaluate ``pi_{x,z}(left(x,y) |><| right(z,y))``."""
+
+    @abc.abstractmethod
+    def star(self, relations: Sequence[Relation]) -> Set[HeadTuple]:
+        """Evaluate the projected star join over the given relations."""
+
+    # Timed wrappers -------------------------------------------------------
+    def run_two_path(self, left: Relation, right: Relation) -> EngineResult:
+        """Evaluate the 2-path query and record the wall-clock time."""
+        start = time.perf_counter()
+        pairs = self.two_path(left, right)
+        return EngineResult(pairs=pairs, seconds=time.perf_counter() - start, engine=self.name)
+
+    def run_star(self, relations: Sequence[Relation]) -> EngineResult:
+        """Evaluate the star query and record the wall-clock time."""
+        start = time.perf_counter()
+        tuples = self.star(relations)
+        return EngineResult(pairs=tuples, seconds=time.perf_counter() - start, engine=self.name)

@@ -1,0 +1,73 @@
+"""Registry of the engines compared in Figure 4.
+
+``make_engine`` builds a :class:`~repro.engines.base.QueryEngine` by name;
+the two output-sensitive algorithms (MMJoin and the combinatorial
+Non-MMJoin) are wrapped in thin adapters so they expose the same interface
+as the DBMS stand-ins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
+from repro.core.star import star_join
+from repro.core.two_path import two_path_join
+from repro.data.relation import Relation
+from repro.engines.base import HeadTuple, Pair, QueryEngine
+from repro.engines.setintersection import SetIntersectionEngine
+from repro.engines.sql_engine import mysql_like, postgres_like, system_x_like
+from repro.joins.baseline import combinatorial_star, combinatorial_two_path
+
+
+class MMJoinEngine(QueryEngine):
+    """Adapter exposing the paper's MMJoin algorithms as a query engine."""
+
+    name = "mmjoin"
+
+    def __init__(self, config: MMJoinConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    def two_path(self, left: Relation, right: Relation) -> Set[Pair]:
+        return two_path_join(left, right, config=self.config).pairs
+
+    def star(self, relations: Sequence[Relation]) -> Set[HeadTuple]:
+        return star_join(relations, config=self.config).tuples
+
+
+class NonMMJoinEngine(QueryEngine):
+    """Adapter for the combinatorial output-sensitive baseline (Lemma 2)."""
+
+    name = "non-mmjoin"
+
+    def two_path(self, left: Relation, right: Relation) -> Set[Pair]:
+        return combinatorial_two_path(left, right)
+
+    def star(self, relations: Sequence[Relation]) -> Set[HeadTuple]:
+        return combinatorial_star(relations)
+
+
+_FACTORIES = {
+    "mmjoin": lambda config: MMJoinEngine(config=config),
+    "non-mmjoin": lambda config: NonMMJoinEngine(),
+    "postgres": lambda config: postgres_like(),
+    "mysql": lambda config: mysql_like(),
+    "system_x": lambda config: system_x_like(),
+    "emptyheaded": lambda config: SetIntersectionEngine(),
+}
+
+
+def available_engines() -> List[str]:
+    """Names of every engine the harness can instantiate."""
+    return sorted(_FACTORIES)
+
+
+def make_engine(name: str, config: MMJoinConfig = DEFAULT_CONFIG) -> QueryEngine:
+    """Instantiate an engine by name (see :func:`available_engines`)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown engine {name!r}; choose one of {available_engines()}"
+        ) from exc
+    return factory(config)

@@ -1,0 +1,107 @@
+"""Generic (NPRR-style) worst-case optimal join for star queries.
+
+The star query ``Q*_k(x1..xk) = R1(x1,y), ..., Rk(xk,y)`` has fractional edge
+cover ``rho* = k`` and a worst-case optimal algorithm enumerates the full
+join in time ``O(|D|^k)`` (Proposition 1 in the paper).  Because every
+relation shares the single join variable ``y``, Generic Join specialises to:
+pick ``y`` first (intersect the y-domains), then expand the per-relation
+neighbour lists.  The projection variant deduplicates head tuples on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.joins.leapfrog import leapfrog_intersection, star_full_join
+
+
+def generic_star_join(relations: Sequence[Relation]) -> Iterator[Tuple[int, ...]]:
+    """Enumerate the full star join as ``(y, x1, ..., xk)`` tuples."""
+    yield from star_full_join(relations)
+
+
+def generic_star_join_project(
+    relations: Sequence[Relation],
+    restrict_to: Iterable[int] | None = None,
+) -> Set[Tuple[int, ...]]:
+    """Compute the projected star join ``pi_{x1..xk}`` with on-the-fly dedup.
+
+    Parameters
+    ----------
+    relations:
+        The k star relations.
+    restrict_to:
+        Optional set of ``y`` values to restrict the join variable to.  Used
+        by the MMJoin light/heavy decomposition which evaluates sub-joins
+        over subsets of the ``y`` domain.
+    """
+    if not relations or any(len(r) == 0 for r in relations):
+        return set()
+    y_domains = [r.y_values() for r in relations]
+    shared_ys = leapfrog_intersection(y_domains)
+    if restrict_to is not None:
+        allowed = np.asarray(sorted(set(int(v) for v in restrict_to)), dtype=np.int64)
+        shared_ys = leapfrog_intersection([shared_ys, allowed])
+    indexes = [r.index_y() for r in relations]
+    output: Set[Tuple[int, ...]] = set()
+    for y in shared_ys:
+        neighbour_lists: List[np.ndarray] = [idx[int(y)] for idx in indexes]
+        _expand_product(neighbour_lists, (), output)
+    return output
+
+
+def generic_star_join_project_counts(
+    relations: Sequence[Relation],
+) -> Dict[Tuple[int, ...], int]:
+    """Projected star join with witness counts (#distinct shared y values)."""
+    counts: Dict[Tuple[int, ...], int] = {}
+    for tup in star_full_join(relations):
+        head = tup[1:]
+        counts[head] = counts.get(head, 0) + 1
+    return counts
+
+
+def generic_two_path_project(
+    left: Relation,
+    right: Relation,
+    restrict_left_x: Iterable[int] | None = None,
+    restrict_y: Iterable[int] | None = None,
+) -> Set[Tuple[int, int]]:
+    """Projected two-path join with optional restrictions.
+
+    This is the sub-join evaluator used by Algorithm 1: the MMJoin light part
+    evaluates ``R- |><| S`` (a restriction over x and/or y values of the left
+    relation) with a worst-case optimal strategy and deduplicates.
+    """
+    if len(left) == 0 or len(right) == 0:
+        return set()
+    left_view = left
+    if restrict_left_x is not None:
+        left_view = left_view.restrict_x(restrict_left_x)
+    if restrict_y is not None:
+        left_view = left_view.restrict_y(restrict_y)
+    output: Set[Tuple[int, int]] = set()
+    right_index = right.index_y()
+    for x, y in zip(left_view.xs, left_view.ys):
+        partners = right_index.get(int(y))
+        if partners is None:
+            continue
+        xi = int(x)
+        for z in partners:
+            output.add((xi, int(z)))
+    return output
+
+
+def _expand_product(
+    lists: List[np.ndarray], prefix: Tuple[int, ...], output: Set[Tuple[int, ...]]
+) -> None:
+    """Add every combination of the neighbour lists (prefixed) to ``output``."""
+    if not lists:
+        output.add(prefix)
+        return
+    head, *tail = lists
+    for value in head:
+        _expand_product(tail, prefix + (int(value),), output)

@@ -1,0 +1,114 @@
+"""Classic hash join on the shared variable ``y``.
+
+This is the plan a conventional DBMS (the paper's Postgres / MySQL / System X
+baselines) picks for the two-path query: build a hash table on ``y`` for one
+relation, probe with the other, emit the full join, and deduplicate the
+projection afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+import numpy as np
+
+from repro.data.relation import Relation
+
+FullTuple = Tuple[int, int, int]  # (x, y, z)
+Pair = Tuple[int, int]
+
+
+def hash_join(left: Relation, right: Relation) -> Iterator[FullTuple]:
+    """Yield the full join ``left(x, y) |><| right(z, y)`` as (x, y, z) tuples.
+
+    The smaller relation (by tuple count) is used as the build side.
+    """
+    if len(left) == 0 or len(right) == 0:
+        return
+    build_left = len(left) <= len(right)
+    build_rel = left if build_left else right
+    probe_rel = right if build_left else left
+    build_index = build_rel.index_y()
+    for probe_x, probe_y in zip(probe_rel.xs, probe_rel.ys):
+        matches = build_index.get(int(probe_y))
+        if matches is None:
+            continue
+        if build_left:
+            for build_x in matches:
+                yield int(build_x), int(probe_y), int(probe_x)
+        else:
+            for build_x in matches:
+                yield int(probe_x), int(probe_y), int(build_x)
+
+
+def hash_join_project(left: Relation, right: Relation) -> Set[Pair]:
+    """Compute the join-project ``pi_{x,z}(left |><| right)`` via full join + dedup.
+
+    This is the baseline evaluation strategy: materialise every witness and
+    deduplicate with a hash set.
+    """
+    output: Set[Pair] = set()
+    for x, _y, z in hash_join(left, right):
+        output.add((x, z))
+    return output
+
+
+def hash_join_count(left: Relation, right: Relation) -> int:
+    """Return the size of the full join without materialising it.
+
+    Uses per-``y`` degree products, i.e. the same quantity a DBMS cardinality
+    estimator would compute exactly from histograms.
+    """
+    return left.full_join_size(right)
+
+
+def hash_join_project_counts(left: Relation, right: Relation) -> Dict[Pair, int]:
+    """Join-project with witness counts: ``{(x, z): #common y}``.
+
+    Needed by the set-similarity application, where the count is the overlap.
+    """
+    counts: Dict[Pair, int] = {}
+    for x, _y, z in hash_join(left, right):
+        key = (x, z)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def hash_join_materialized(left: Relation, right: Relation) -> List[FullTuple]:
+    """Materialise the full join as a list (used by tests and the SQL engine)."""
+    return list(hash_join(left, right))
+
+
+def batched_hash_join_project(
+    left: Relation, right: Relation, filter_pairs: Iterable[Pair]
+) -> Set[Pair]:
+    """Join-project restricted to candidate (x, z) pairs.
+
+    Used by the boolean-set-intersection baseline: given a batch ``T(x, z)``
+    of candidate pairs, return the subset with a non-empty intersection.
+    """
+    wanted = set((int(a), int(b)) for a, b in filter_pairs)
+    if not wanted:
+        return set()
+    left_index = left.index_x()
+    right_index = right.index_x()
+    result: Set[Pair] = set()
+    for a, b in wanted:
+        ys_a = left_index.get(a)
+        ys_b = right_index.get(b)
+        if ys_a is None or ys_b is None:
+            continue
+        if _sorted_arrays_intersect(ys_a, ys_b):
+            result.add((a, b))
+    return result
+
+
+def _sorted_arrays_intersect(a: np.ndarray, b: np.ndarray) -> bool:
+    """True if two sorted integer arrays share at least one value."""
+    if a.size == 0 or b.size == 0:
+        return False
+    # Gallop through the smaller array probing the larger one.
+    small, large = (a, b) if a.size <= b.size else (b, a)
+    positions = np.searchsorted(large, small)
+    positions = np.clip(positions, 0, large.size - 1)
+    return bool(np.any(large[positions] == small))

@@ -1,0 +1,27 @@
+"""Matrix multiplication substrate: kernels and a calibrated cost model."""
+
+from repro.matmul.dense import (
+    boolean_matmul,
+    count_matmul,
+    build_adjacency,
+    nonzero_pairs,
+)
+from repro.matmul.sparse import sparse_count_matmul, sparse_boolean_matmul, build_sparse_adjacency
+from repro.matmul.blocked import blocked_matmul, rectangular_cost
+from repro.matmul.strassen import strassen_matmul
+from repro.matmul.cost_model import MatMulCostModel, theoretical_cost
+
+__all__ = [
+    "boolean_matmul",
+    "count_matmul",
+    "build_adjacency",
+    "nonzero_pairs",
+    "sparse_count_matmul",
+    "sparse_boolean_matmul",
+    "build_sparse_adjacency",
+    "blocked_matmul",
+    "rectangular_cost",
+    "strassen_matmul",
+    "MatMulCostModel",
+    "theoretical_cost",
+]

@@ -1,0 +1,108 @@
+"""Blocked rectangular matrix multiplication (Lemma 1 of the paper).
+
+Lemma 1: if two ``n x n`` matrices can be multiplied in ``O(n^omega)`` time,
+then a ``U x V`` by ``V x W`` product costs
+``M(U, V, W) = O(U * V * W * beta^(omega - 3))`` where ``beta = min(U, V, W)``
+— split both operands into ``beta x beta`` blocks and multiply blockwise.
+
+:func:`blocked_matmul` implements exactly that decomposition; each block
+product is delegated to a square kernel (numpy by default, or Strassen).
+:func:`rectangular_cost` evaluates the Lemma 1 cost formula symbolically,
+which the theory module and the optimizer both use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+SquareKernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def rectangular_cost(u: float, v: float, w: float, omega: float = 3.0) -> float:
+    """Lemma 1 cost ``M(U, V, W) = U*V*W * beta^(omega - 3)``, beta = min(U,V,W).
+
+    With ``omega = 3`` this is the classical ``U*V*W``; with ``omega = 2`` it
+    becomes ``U*V*W / beta``.
+    """
+    if u <= 0 or v <= 0 or w <= 0:
+        return 0.0
+    beta = min(u, v, w)
+    return float(u * v * w * (beta ** (omega - 3.0)))
+
+
+def _pad_to_multiple(matrix: np.ndarray, block: int) -> np.ndarray:
+    """Zero-pad both dimensions of a matrix up to a multiple of ``block``."""
+    rows, cols = matrix.shape
+    pad_rows = (-rows) % block
+    pad_cols = (-cols) % block
+    if pad_rows == 0 and pad_cols == 0:
+        return matrix
+    return np.pad(matrix, ((0, pad_rows), (0, pad_cols)))
+
+
+def blocked_matmul(
+    left: np.ndarray,
+    right: np.ndarray,
+    block_size: Optional[int] = None,
+    kernel: Optional[SquareKernel] = None,
+) -> np.ndarray:
+    """Multiply rectangular matrices by decomposition into square blocks.
+
+    Parameters
+    ----------
+    block_size:
+        Side of the square blocks; defaults to ``min(U, V, W)`` as in the
+        lemma (capped at 256 to bound padding overhead for very skewed
+        shapes).
+    kernel:
+        Square block multiplier; defaults to the numpy kernel.  Passing
+        :func:`repro.matmul.strassen.strassen_matmul` reproduces the
+        "fast matrix multiplication" variant.
+    """
+    a = np.asarray(left, dtype=np.float32)
+    b = np.asarray(right, dtype=np.float32)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("blocked_matmul expects 2-D matrices")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions do not match: {a.shape} x {b.shape}")
+    u, v = a.shape
+    _, w = b.shape
+    if u == 0 or v == 0 or w == 0:
+        return np.zeros((u, w), dtype=np.float32)
+    if block_size is None:
+        block_size = max(min(u, v, w), 1)
+        block_size = min(block_size, 256)
+    block = max(int(block_size), 1)
+    multiply = kernel or (lambda x, y: x @ y)
+
+    a_pad = _pad_to_multiple(a, block)
+    b_pad = _pad_to_multiple(b, block)
+    out = np.zeros((a_pad.shape[0], b_pad.shape[1]), dtype=np.float32)
+    n_row_blocks = a_pad.shape[0] // block
+    n_inner_blocks = a_pad.shape[1] // block
+    n_col_blocks = b_pad.shape[1] // block
+    for i in range(n_row_blocks):
+        row_lo, row_hi = i * block, (i + 1) * block
+        for j in range(n_col_blocks):
+            col_lo, col_hi = j * block, (j + 1) * block
+            acc = np.zeros((block, block), dtype=np.float32)
+            for k in range(n_inner_blocks):
+                inner_lo, inner_hi = k * block, (k + 1) * block
+                acc += multiply(
+                    a_pad[row_lo:row_hi, inner_lo:inner_hi],
+                    b_pad[inner_lo:inner_hi, col_lo:col_hi],
+                )
+            out[row_lo:row_hi, col_lo:col_hi] = acc
+    return out[:u, :w]
+
+
+def block_count(u: int, v: int, w: int, block: int) -> int:
+    """Number of square block products Lemma 1's decomposition performs."""
+    if min(u, v, w) <= 0 or block <= 0:
+        return 0
+    return (
+        math.ceil(u / block) * math.ceil(v / block) * math.ceil(w / block)
+    )

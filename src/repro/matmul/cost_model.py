@@ -1,0 +1,158 @@
+"""Calibrated matrix-multiplication cost model (paper Section 5).
+
+The optimizer needs an estimate ``M_hat(u, v, w, cores)`` of the wall-clock
+time a ``u x v`` by ``v x w`` product will take on the current machine.  The
+paper precomputes a table of square-product timings
+``M_hat(p, p, p, cores)`` for ``p in {1000, 2000, ..., 20000}`` and
+extrapolates; we do the same but with a smaller default grid (the calibration
+is run once per process and cached).
+
+Two models are exposed:
+
+* :func:`theoretical_cost` — the Lemma 1 operation count, used by the theory
+  module and by deterministic tests;
+* :class:`MatMulCostModel` — the calibrated wall-clock model used by the
+  cost-based optimizer, with a deterministic fallback (ops / throughput) so
+  the optimizer remains usable without running calibration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.matmul.blocked import rectangular_cost
+
+
+def theoretical_cost(u: float, v: float, w: float, omega: float = 3.0) -> float:
+    """Operation count of a rectangular product under exponent ``omega``."""
+    return rectangular_cost(u, v, w, omega=omega)
+
+
+@dataclass
+class MatMulCostModel:
+    """Estimates wall-clock seconds for rectangular float32 products.
+
+    Parameters
+    ----------
+    calibration_sizes:
+        Square sizes to measure when :meth:`calibrate` runs.
+    flops_per_second:
+        Fallback throughput used before calibration (and for the
+        deterministic mode used in tests).  The default corresponds to a
+        modest BLAS on one core.
+    parallel_efficiency:
+        Fraction of linear speedup retained per extra core (the paper
+        observes near-linear scaling for Eigen; we default to 85%).
+    """
+
+    calibration_sizes: Sequence[int] = (128, 256, 512)
+    flops_per_second: float = 2.0e9
+    parallel_efficiency: float = 0.85
+    _table: Dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Calibration
+    # ------------------------------------------------------------------ #
+    def calibrate(self, repeats: int = 2, seed: int = 0) -> Dict[int, float]:
+        """Measure square float32 products and fill the calibration table.
+
+        Returns the table ``{size: seconds}``.  Each measurement is the best
+        of ``repeats`` runs to reduce noise.
+        """
+        rng = np.random.default_rng(seed)
+        for size in self.calibration_sizes:
+            a = rng.random((size, size), dtype=np.float32)
+            b = rng.random((size, size), dtype=np.float32)
+            best = float("inf")
+            for _ in range(max(repeats, 1)):
+                start = time.perf_counter()
+                _ = a @ b
+                best = min(best, time.perf_counter() - start)
+            self._table[int(size)] = best
+        return dict(self._table)
+
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether at least one measured point is available."""
+        return bool(self._table)
+
+    def set_table(self, table: Dict[int, float]) -> None:
+        """Install a pre-measured calibration table (e.g. loaded from disk)."""
+        self._table = {int(k): float(v) for k, v in table.items()}
+
+    def table(self) -> Dict[int, float]:
+        """The current calibration table."""
+        return dict(self._table)
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def estimate_square(self, size: int, cores: int = 1) -> float:
+        """Estimate seconds for an n x n x n product on ``cores`` cores."""
+        return self.estimate(size, size, size, cores=cores)
+
+    def estimate(self, u: int, v: int, w: int, cores: int = 1) -> float:
+        """Estimate seconds for a ``u x v @ v x w`` product on ``cores`` cores.
+
+        The rectangular product is mapped to an "equivalent" cube of side
+        ``(u*v*w)^(1/3)`` and looked up / extrapolated from the calibration
+        table; without calibration the flops/throughput fallback is used.
+        The multi-core estimate divides by an efficiency-discounted core
+        count, mirroring the near-linear scaling in Figure 3b.
+        """
+        if u <= 0 or v <= 0 or w <= 0:
+            return 0.0
+        single_core = self._estimate_single_core(float(u), float(v), float(w))
+        return single_core / self.speedup(cores)
+
+    def estimate_construction(self, u: int, v: int, w: int, cores: int = 1,
+                              seconds_per_cell: float = 4.0e-9) -> float:
+        """Estimate the matrix-construction cost ``C`` (Eq. 1 of the paper).
+
+        Construction iterates over every cell of the two operand matrices,
+        i.e. ``u*v + v*w`` cells; ``seconds_per_cell`` approximates the memory
+        allocation + write cost (the paper's ``T_m`` constant).
+        """
+        cells = float(u) * float(v) + float(v) * float(w)
+        return cells * seconds_per_cell / self.speedup(cores)
+
+    def speedup(self, cores: int) -> float:
+        """Model the multi-core speedup: 1 + eff * (cores - 1)."""
+        cores = max(int(cores), 1)
+        return 1.0 + self.parallel_efficiency * (cores - 1)
+
+    # -- internals ----------------------------------------------------------
+    def _estimate_single_core(self, u: float, v: float, w: float) -> float:
+        ops = 2.0 * u * v * w  # multiply + add per cell update
+        if not self._table:
+            return ops / self.flops_per_second
+        equivalent_side = (u * v * w) ** (1.0 / 3.0)
+        sizes = np.asarray(sorted(self._table), dtype=np.float64)
+        times = np.asarray([self._table[int(s)] for s in sizes], dtype=np.float64)
+        # Interpolate seconds-per-flop between the two nearest measured cubes;
+        # clamp outside the measured range (matches the paper's "nearest
+        # estimate" extrapolation).
+        measured_ops = 2.0 * sizes ** 3
+        seconds_per_op = times / measured_ops
+        if equivalent_side <= sizes[0]:
+            rate = seconds_per_op[0]
+        elif equivalent_side >= sizes[-1]:
+            rate = seconds_per_op[-1]
+        else:
+            rate = float(np.interp(equivalent_side, sizes, seconds_per_op))
+        return ops * float(rate)
+
+
+def calibration_series(
+    model: MatMulCostModel, sizes: Sequence[int], cores: Sequence[int] = (1,)
+) -> List[Tuple[int, int, float]]:
+    """Produce (size, cores, estimated seconds) rows — the Figure 3 series."""
+    rows: List[Tuple[int, int, float]] = []
+    for size in sizes:
+        for core_count in cores:
+            rows.append((int(size), int(core_count), model.estimate_square(size, core_count)))
+    return rows

@@ -1,0 +1,41 @@
+"""Set operations built on the join-project core: SSJ, ordered SSJ and SCJ."""
+
+from repro.setops.inverted_index import InvertedIndex, c_subsets
+from repro.setops.prefix_tree import PrefixTree, PrefixTreeNode
+from repro.setops.ssj import (
+    SSJResult,
+    set_similarity_join,
+    ssj_mmjoin,
+    ssj_sizeaware,
+    ssj_sizeaware_plus,
+    size_boundary,
+)
+from repro.setops.ssj_ordered import ordered_set_similarity_join
+from repro.setops.scj import (
+    SCJResult,
+    set_containment_join,
+    scj_mmjoin,
+    scj_pretti,
+    scj_limit,
+    scj_piejoin,
+)
+
+__all__ = [
+    "InvertedIndex",
+    "c_subsets",
+    "PrefixTree",
+    "PrefixTreeNode",
+    "SSJResult",
+    "set_similarity_join",
+    "ssj_mmjoin",
+    "ssj_sizeaware",
+    "ssj_sizeaware_plus",
+    "size_boundary",
+    "ordered_set_similarity_join",
+    "SCJResult",
+    "set_containment_join",
+    "scj_mmjoin",
+    "scj_pretti",
+    "scj_limit",
+    "scj_piejoin",
+]

@@ -1,0 +1,118 @@
+"""Inverted index and subset-generation utilities for SSJ / SCJ.
+
+The inverted index ``L[b]`` maps every element ``b`` to the sorted list of
+sets that contain it.  Both the SizeAware algorithm (which buckets light sets
+by their c-subsets) and the trie-based SCJ algorithms (which intersect
+inverted lists along a prefix tree) are built on top of it.  The paper also
+relies on a *global element order* — elements sorted by inverted-list length
+— which drives the prefix-tree computation reuse of Example 6; that order is
+computed here.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.setfamily import SetFamily
+
+
+class InvertedIndex:
+    """Inverted index over a set family with frequency-based element order."""
+
+    def __init__(self, family: SetFamily) -> None:
+        self._family = family
+        self._lists = family.inverted_index()
+        self._lengths = {elem: int(lst.size) for elem, lst in self._lists.items()}
+
+    @property
+    def family(self) -> SetFamily:
+        """The indexed set family."""
+        return self._family
+
+    def lists(self) -> Dict[int, np.ndarray]:
+        """The raw inverted lists ``{element: sorted set ids}``."""
+        return self._lists
+
+    def get(self, element: int) -> np.ndarray:
+        """Inverted list of one element (empty array if unseen)."""
+        return self._lists.get(int(element), _EMPTY)
+
+    def list_length(self, element: int) -> int:
+        """Length of one inverted list."""
+        return self._lengths.get(int(element), 0)
+
+    def elements(self) -> List[int]:
+        """All indexed elements."""
+        return sorted(self._lists)
+
+    def order_by_frequency(self, descending: bool = True) -> List[int]:
+        """Elements ordered by inverted-list length.
+
+        The paper's prefix-tree optimisation sorts elements by decreasing list
+        length ("bigger lists give larger output and merging those repeatedly
+        is expensive"); the SCJ algorithms use the *infrequent-first* order
+        (``descending=False``).
+        """
+        return sorted(
+            self._lists,
+            key=lambda elem: (self._lengths[elem], elem),
+            reverse=descending,
+        )
+
+    def rank_map(self, descending: bool = True) -> Dict[int, int]:
+        """Element -> position in the frequency order (used to sort sets)."""
+        return {elem: i for i, elem in enumerate(self.order_by_frequency(descending))}
+
+    def reorder_set(self, elements: Sequence[int], descending: bool = True) -> List[int]:
+        """Sort a set's elements by the global frequency order."""
+        ranks = self.rank_map(descending)
+        return sorted((int(e) for e in elements), key=lambda e: ranks.get(e, len(ranks)))
+
+    def candidate_pairs_through(self, element: int) -> Iterator[Tuple[int, int]]:
+        """All ordered set pairs that share the given element."""
+        lst = self.get(element)
+        for i in range(lst.size):
+            for j in range(lst.size):
+                if i != j:
+                    yield int(lst[i]), int(lst[j])
+
+    def merge_lists(self, elements: Iterable[int]) -> Dict[int, int]:
+        """Merge several inverted lists, returning ``{set_id: multiplicity}``.
+
+        The multiplicity of a set id is the number of the given elements it
+        contains — exactly the intersection size with the probing set.
+        """
+        counts: Dict[int, int] = {}
+        for element in elements:
+            for sid in self.get(element):
+                key = int(sid)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def c_subsets(elements: Sequence[int], c: int) -> Iterator[Tuple[int, ...]]:
+    """Enumerate all c-sized subsets of a set (sorted canonical tuples).
+
+    This is the light-set expansion of the SizeAware algorithm; the number of
+    subsets is ``|elements| choose c`` so callers must only invoke it on
+    *light* (small) sets.
+    """
+    ordered = sorted(int(e) for e in elements)
+    if c <= 0 or c > len(ordered):
+        return iter(())
+    return combinations(ordered, c)
+
+
+def count_c_subsets(set_size: int, c: int) -> int:
+    """Number of c-subsets of a set of the given size (binomial coefficient)."""
+    if c < 0 or c > set_size:
+        return 0
+    from math import comb
+
+    return comb(set_size, c)
+
+
+_EMPTY = np.empty(0, dtype=np.int64)

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import generators
+from repro.data.relation import Relation
+from repro.data.setfamily import SetFamily
+
+
+@pytest.fixture
+def tiny_relation() -> Relation:
+    """The paper's Example 2 relation R (1..6 x 1..6 with a dense core)."""
+    pairs = [
+        (1, 1), (1, 4),
+        (2, 2), (2, 5),
+        (3, 3), (3, 6),
+        (4, 4), (4, 6),
+        (5, 4), (5, 5), (5, 6),
+        (6, 4), (6, 5),
+    ]
+    return Relation.from_pairs(pairs, name="R")
+
+
+@pytest.fixture
+def tiny_relation_s() -> Relation:
+    """A second small relation S sharing the y domain with ``tiny_relation``."""
+    pairs = [
+        (1, 1), (1, 5),
+        (2, 2), (2, 4),
+        (3, 3),
+        (4, 4), (4, 5),
+        (5, 4), (5, 5), (5, 6),
+        (6, 5), (6, 6),
+    ]
+    return Relation.from_pairs(pairs, name="S")
+
+
+@pytest.fixture
+def skewed_pair():
+    """A pair of moderately sized skewed relations for join tests."""
+    left = generators.zipf_bipartite(2000, 200, 150, skew=1.1, seed=11, name="R")
+    right = generators.zipf_bipartite(2000, 200, 150, skew=1.1, seed=12, name="S")
+    return left, right
+
+
+@pytest.fixture
+def community_relation() -> Relation:
+    """The Example 1 community instance (large full join, small projection)."""
+    return generators.example1_instance(4000, num_communities=2, seed=5)
+
+
+@pytest.fixture
+def small_family() -> SetFamily:
+    """A small set family with overlapping sets for SSJ/SCJ tests."""
+    sets = {
+        0: [1, 2, 3, 4],
+        1: [2, 3, 4],
+        2: [3, 4, 5],
+        3: [1, 2],
+        4: [6, 7],
+        5: [6, 7, 8, 9],
+        6: [1, 2, 3, 4, 5, 6],
+        7: [9],
+    }
+    return SetFamily.from_dict(sets, name="F")
+
+
+@pytest.fixture
+def skewed_family() -> SetFamily:
+    """A generated set family with heavy skew (exercises light/heavy split)."""
+    relation = generators.zipf_bipartite(1200, 100, 70, skew=1.2, seed=21, name="F")
+    return SetFamily.from_relation(relation)

@@ -1,0 +1,100 @@
+"""Tests for the benchmark harness (datasets registry, runner, report)."""
+
+import pytest
+
+from repro.bench.datasets import (
+    bench_dataset,
+    bench_datasets,
+    bench_family,
+    dataset_names,
+    table2_rows,
+)
+from repro.bench.report import format_series, format_table, print_table
+from repro.bench.runner import Measurement, run_series, speedup, time_call
+
+
+class TestDatasets:
+    def test_dataset_names_order(self):
+        assert dataset_names() == ["dblp", "roadnet", "jokes", "words", "protein", "image"]
+
+    def test_bench_dataset_cached(self):
+        a = bench_dataset("dblp", scale=0.02)
+        b = bench_dataset("dblp", scale=0.02)
+        assert a is b
+
+    def test_bench_datasets_all_present(self):
+        datasets = bench_datasets(scale=0.02)
+        assert set(datasets) == set(dataset_names())
+        assert all(len(rel) > 0 for rel in datasets.values())
+
+    def test_bench_family(self):
+        fam = bench_family("jokes", scale=0.02)
+        assert fam.num_sets() > 0
+
+    def test_table2_rows(self):
+        rows = table2_rows(scale=0.02)
+        assert len(rows) == 6
+        for row in rows:
+            assert {"dataset", "tuples", "sets", "dom", "avg_set_size"} <= set(row)
+            assert row["tuples"] > 0
+
+
+class TestRunner:
+    def test_time_call_returns_value(self):
+        measurement = time_call(lambda a, b: a + b, 2, 3, repeats=3)
+        assert measurement.value == 5
+        assert measurement.seconds >= 0
+        assert len(measurement.runs) == 3
+
+    def test_trimming_drops_extremes(self):
+        measurement = Measurement(seconds=0.0, runs=[1.0, 5.0, 100.0])
+        assert measurement.best == 1.0
+        assert measurement.worst == 100.0
+
+    def test_time_call_no_trim(self):
+        measurement = time_call(lambda: None, repeats=2, trim=False)
+        assert len(measurement.runs) == 2
+
+    def test_run_series(self):
+        series = run_series(lambda p: p * 2, [1, 2, 3], repeats=1)
+        assert [p for p, _ in series] == [1, 2, 3]
+        assert [m.value for _, m in series] == [2, 4, 6]
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"dataset": "dblp", "seconds": 0.123456}, {"dataset": "jokes", "seconds": 12.0}]
+        text = format_table(rows, title="Figure 4a")
+        assert "Figure 4a" in text
+        assert "dblp" in text and "jokes" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title + header + rule + 2 rows
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_handles_missing_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_format_series(self):
+        series = {
+            "mmjoin": [(2, 1.0), (4, 0.6)],
+            "non-mmjoin": [(2, 2.0), (4, 1.5)],
+        }
+        text = format_series(series, x_label="cores", title="Figure 4d")
+        assert "cores" in text and "mmjoin" in text and "non-mmjoin" in text
+
+    def test_print_table(self, capsys):
+        print_table([{"x": 1}], title="T")
+        captured = capsys.readouterr()
+        assert "T" in captured.out and "1" in captured.out
+
+    def test_scientific_formatting_of_tiny_values(self):
+        text = format_table([{"v": 1.23e-7}])
+        assert "e-07" in text

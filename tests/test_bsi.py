@@ -1,0 +1,146 @@
+"""Tests for boolean set intersection batching (Section 3.3)."""
+
+import pytest
+
+from repro.core.bsi import (
+    BooleanSetIntersection,
+    BSIBatchScheduler,
+    machines_needed,
+    optimal_batch_size,
+    theoretical_latency,
+)
+from repro.data import generators
+
+
+@pytest.fixture
+def bsi_relations():
+    left = generators.zipf_bipartite(1500, 150, 100, skew=1.0, seed=41, name="R")
+    right = generators.zipf_bipartite(1500, 150, 100, skew=1.0, seed=42, name="S")
+    return left, right
+
+
+@pytest.fixture
+def engine(bsi_relations):
+    left, right = bsi_relations
+    return BooleanSetIntersection(left, right)
+
+
+class TestSingleQueries:
+    def test_query_against_bruteforce(self, engine, bsi_relations):
+        left, right = bsi_relations
+        for a in list(left.x_values())[:20]:
+            for b in list(right.x_values())[:20]:
+                expected = bool(
+                    set(left.neighbors_x(int(a)).tolist())
+                    & set(right.neighbors_x(int(b)).tolist())
+                )
+                assert engine.query(int(a), int(b)) == expected
+
+    def test_query_unknown_set(self, engine):
+        assert engine.query(10**9, 0) is False
+
+    def test_query_intersection_contents(self, engine, bsi_relations):
+        left, right = bsi_relations
+        a = int(left.x_values()[0])
+        b = int(right.x_values()[0])
+        expected = sorted(
+            set(left.neighbors_x(a).tolist()) & set(right.neighbors_x(b).tolist())
+        )
+        assert engine.query_intersection(a, b).tolist() == expected
+
+
+class TestBatches:
+    @pytest.mark.parametrize("use_mmjoin", [True, False])
+    def test_batch_matches_single_queries(self, engine, use_mmjoin):
+        batch = [(a, b) for a in range(0, 30, 3) for b in range(0, 30, 5)]
+        outcome = engine.answer_batch(batch, use_mmjoin=use_mmjoin)
+        assert set(outcome.answers) == set(batch)
+        for (a, b), answer in outcome.answers.items():
+            assert answer == engine.query(a, b)
+
+    def test_both_methods_agree(self, engine):
+        batch = [(a, b) for a in range(0, 40, 2) for b in range(1, 40, 7)]
+        mm = engine.answer_batch(batch, use_mmjoin=True)
+        comb = engine.answer_batch(batch, use_mmjoin=False)
+        assert mm.answers == comb.answers
+
+    def test_empty_batch(self, engine):
+        outcome = engine.answer_batch([])
+        assert outcome.answers == {}
+        assert outcome.batch_size == 0
+
+    def test_positive_pairs_subset_of_batch(self, engine):
+        batch = [(0, 0), (1, 1), (2, 2)]
+        outcome = engine.answer_batch(batch)
+        assert outcome.positive_pairs() <= set(batch)
+
+
+class TestScheduler:
+    def test_workload_generation_deterministic(self, bsi_relations):
+        left, right = bsi_relations
+        sched = BSIBatchScheduler(left, right, arrival_rate=500)
+        assert sched.generate_workload(100, seed=5) == sched.generate_workload(100, seed=5)
+
+    def test_workload_uses_valid_ids(self, bsi_relations):
+        left, right = bsi_relations
+        sched = BSIBatchScheduler(left, right, arrival_rate=500)
+        xs = set(left.x_values().tolist())
+        zs = set(right.x_values().tolist())
+        for a, b in sched.generate_workload(50, seed=1):
+            assert a in xs and b in zs
+
+    def test_run_reports_metrics(self, bsi_relations):
+        left, right = bsi_relations
+        sched = BSIBatchScheduler(left, right, arrival_rate=1000)
+        workload = sched.generate_workload(120, seed=2)
+        result = sched.run(workload, batch_size=40)
+        assert result.num_queries == 120
+        assert result.average_delay > 0
+        assert result.processing_units >= 1
+        assert len(result.per_batch_seconds) == 3
+
+    def test_larger_batches_wait_longer_to_fill(self, bsi_relations):
+        left, right = bsi_relations
+        sched = BSIBatchScheduler(left, right, arrival_rate=1000)
+        workload = sched.generate_workload(200, seed=3)
+        small = sched.run(workload, batch_size=10)
+        large = sched.run(workload, batch_size=200)
+        # The fill-wait component alone is C/2B; for large C it must dominate.
+        assert large.average_delay >= large.batch_size / (2 * 1000.0)
+        assert small.batch_size / (2 * 1000.0) < large.batch_size / (2 * 1000.0)
+
+    def test_sweep(self, bsi_relations):
+        left, right = bsi_relations
+        sched = BSIBatchScheduler(left, right, arrival_rate=1000)
+        workload = sched.generate_workload(100, seed=4)
+        results = sched.sweep_batch_sizes(workload, [20, 50, 100])
+        assert [r.batch_size for r in results] == [20, 50, 100]
+
+    def test_invalid_parameters(self, bsi_relations):
+        left, right = bsi_relations
+        with pytest.raises(ValueError):
+            BSIBatchScheduler(left, right, arrival_rate=0)
+        sched = BSIBatchScheduler(left, right, arrival_rate=10)
+        with pytest.raises(ValueError):
+            sched.run([(0, 0)], batch_size=0)
+
+    def test_empty_workload(self, bsi_relations):
+        left, right = bsi_relations
+        sched = BSIBatchScheduler(left, right, arrival_rate=10)
+        result = sched.run([], batch_size=10)
+        assert result.num_queries == 0 and result.average_delay == 0.0
+
+
+class TestTheory:
+    def test_proposition2_improves_on_naive_machines(self):
+        n, rate = 1e6, 1000.0
+        assert machines_needed(n, rate) < rate * n
+
+    def test_optimal_batch_size_positive(self):
+        assert optimal_batch_size(10**6, 1000) > 0
+
+    def test_theoretical_latency_decreases_then_increases(self):
+        n, rate = 1e6, 1000.0
+        latencies = [theoretical_latency(n, rate, c) for c in (10, 1000, optimal_batch_size(n, rate), 10**7)]
+        optimum = theoretical_latency(n, rate, optimal_batch_size(n, rate))
+        assert optimum <= min(latencies[0], latencies[-1])

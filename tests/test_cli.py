@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.loaders import save_edge_list
+from repro.data.relation import Relation
+
+
+@pytest.fixture
+def edge_file(tmp_path, tiny_relation):
+    path = tmp_path / "edges.txt"
+    save_edge_list(tiny_relation, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_join_defaults(self):
+        args = build_parser().parse_args(["join", "file.txt"])
+        assert args.command == "join"
+        assert args.delta1 is None and args.backend == "auto"
+
+    def test_ssj_options(self):
+        args = build_parser().parse_args(["ssj", "f.txt", "-c", "3", "--method", "sizeaware"])
+        assert args.overlap == 3 and args.method == "sizeaware"
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scj", "f.txt", "--method", "bogus"])
+
+
+class TestCommands:
+    def test_join_command(self, edge_file, capsys):
+        assert main(["join", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "output_pairs" in out and "strategy" in out
+
+    def test_join_with_thresholds(self, edge_file, capsys):
+        assert main(["join", edge_file, "--delta1", "2", "--delta2", "2"]) == 0
+        assert "mmjoin" in capsys.readouterr().out
+
+    def test_join_no_optimizer(self, edge_file, capsys):
+        assert main(["join", edge_file, "--no-optimizer"]) == 0
+        assert "wcoj" in capsys.readouterr().out
+
+    def test_ssj_command(self, edge_file, capsys):
+        assert main(["ssj", edge_file, "-c", "1"]) == 0
+        assert "similar_pairs" in capsys.readouterr().out
+
+    def test_scj_command(self, edge_file, capsys):
+        assert main(["scj", edge_file, "--method", "pretti"]) == 0
+        assert "containment_pairs" in capsys.readouterr().out
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "dblp" in out and "image" in out

@@ -1,0 +1,102 @@
+"""Tests for the compressed (factorized) join view."""
+
+import pytest
+
+from repro.core.compressed import CompressedJoinView, build_compressed_view
+from repro.core.config import MMJoinConfig
+from repro.data import generators
+from repro.data.relation import Relation
+from repro.joins.hash_join import hash_join_project, hash_join_project_counts
+
+
+@pytest.fixture
+def dense_pair():
+    rel = generators.community_bipartite(
+        num_sets=80, domain_size=70, num_communities=3, density=0.6, seed=3, name="G"
+    )
+    return rel, rel
+
+
+class TestConstruction:
+    def test_enumeration_matches_join_project(self, dense_pair):
+        left, right = dense_pair
+        view = build_compressed_view(left, right, config=MMJoinConfig(delta1=3, delta2=3))
+        assert set(view.enumerate()) == hash_join_project(left, right)
+
+    def test_enumeration_with_optimizer(self, dense_pair):
+        left, right = dense_pair
+        view = build_compressed_view(left, right)
+        assert set(view.enumerate()) == hash_join_project(left, right)
+
+    def test_sparse_input_all_light(self):
+        rel = generators.roadnet_graph(300, seed=2)
+        view = build_compressed_view(rel, rel)
+        assert view.left_matrix.size == 0
+        assert set(view.enumerate()) == hash_join_project(rel, rel)
+
+    def test_empty_input(self, dense_pair):
+        left, _ = dense_pair
+        view = build_compressed_view(left, Relation.empty())
+        assert len(view) == 0
+        assert view.stored_cells() == 0
+
+    def test_len_matches_materialized_size(self, dense_pair):
+        left, right = dense_pair
+        view = build_compressed_view(left, right, config=MMJoinConfig(delta1=2, delta2=2))
+        assert len(view) == len(hash_join_project(left, right))
+
+
+class TestQueries:
+    @pytest.fixture
+    def view(self, dense_pair):
+        left, right = dense_pair
+        return build_compressed_view(left, right, config=MMJoinConfig(delta1=3, delta2=3))
+
+    def test_contains_agrees_with_materialisation(self, view, dense_pair):
+        left, right = dense_pair
+        expected = hash_join_project(left, right)
+        sample = list(expected)[:200]
+        for pair in sample:
+            assert pair in view
+        assert (10**6, 10**6) not in view
+
+    def test_neighbors(self, view, dense_pair):
+        left, right = dense_pair
+        expected = hash_join_project(left, right)
+        for x in list(left.x_values())[:30]:
+            assert view.neighbors(int(x)) == {b for a, b in expected if a == int(x)}
+
+    def test_witness_count_heavy_pairs(self, view, dense_pair):
+        left, right = dense_pair
+        counts = hash_join_project_counts(left, right)
+        for pair in list(view.heavy_pairs())[:100]:
+            # heavy witnesses are a subset of all witnesses
+            assert view.witness_count(*pair) <= counts[pair]
+            assert view.witness_count(*pair) >= 1
+
+    def test_witness_count_unknown_values(self, view):
+        assert view.witness_count(10**6, 0) == 0
+
+
+class TestCompression:
+    def test_compression_pays_off_on_hub_instance(self):
+        """On a hub-dominated instance (many sets sharing a few popular
+        elements) the factorized form stores far fewer cells than the
+        materialised output: |X|*|Y| + |Y|*|Z| cells vs up to |X|*|Z| pairs."""
+        hubs = list(range(5))
+        pairs = [(x, y) for x in range(200) for y in hubs]
+        graph = Relation.from_pairs(pairs, name="hub")
+        view = build_compressed_view(graph, graph, config=MMJoinConfig(delta1=2, delta2=2))
+        heavy = view.heavy_pairs()
+        matrix_cells = view.left_matrix.size + view.right_matrix.size
+        assert len(heavy) == 200 * 200
+        assert matrix_cells < len(heavy) / 10
+        assert view.compression_ratio() > 10
+
+    def test_stored_cells_accounting(self, dense_pair):
+        left, right = dense_pair
+        view = build_compressed_view(left, right, config=MMJoinConfig(delta1=3, delta2=3))
+        assert view.stored_cells() == (
+            len(view.light_pairs) + view.left_matrix.size + view.right_matrix.size
+        )
+        assert view.compression_ratio() > 0

@@ -1,0 +1,46 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
+
+
+class TestMMJoinConfig:
+    def test_defaults(self):
+        config = MMJoinConfig()
+        assert config.delta1 is None and config.delta2 is None
+        assert config.use_optimizer
+        assert config.cores == 1
+
+    def test_with_thresholds(self):
+        config = DEFAULT_CONFIG.with_thresholds(4, 9)
+        assert (config.delta1, config.delta2) == (4, 9)
+        # the original is unchanged (frozen dataclass semantics)
+        assert DEFAULT_CONFIG.delta1 is None
+
+    def test_with_cores(self):
+        assert DEFAULT_CONFIG.with_cores(8).cores == 8
+
+    def test_with_backend(self):
+        assert DEFAULT_CONFIG.with_backend("sparse").matrix_backend == "sparse"
+
+    def test_without_optimizer(self):
+        assert DEFAULT_CONFIG.without_optimizer().use_optimizer is False
+
+    @pytest.mark.parametrize("kwargs", [
+        {"matrix_backend": "gpu"},
+        {"dedup_strategy": "bogus"},
+        {"optimizer_shrink": 0.0},
+        {"optimizer_shrink": 1.0},
+        {"full_join_factor": -1},
+        {"cores": 0},
+        {"delta1": 0},
+        {"delta2": -3},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MMJoinConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.cores = 5  # type: ignore[misc]

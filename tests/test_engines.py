@@ -1,0 +1,100 @@
+"""Tests for the baseline engines and the engine registry."""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.engines.base import EngineResult
+from repro.engines.registry import available_engines, make_engine
+from repro.engines.setintersection import SetIntersectionEngine
+from repro.engines.sql_engine import SQLLikeEngine, mysql_like, postgres_like, system_x_like
+from repro.joins.baseline import combinatorial_star
+from repro.joins.hash_join import hash_join_project
+
+
+class TestSQLLikeEngine:
+    @pytest.mark.parametrize("join_algorithm", ["hash", "sortmerge"])
+    @pytest.mark.parametrize("dedup", ["hash", "sort"])
+    def test_two_path_correct(self, skewed_pair, join_algorithm, dedup):
+        left, right = skewed_pair
+        engine = SQLLikeEngine(join_algorithm=join_algorithm, dedup=dedup)
+        assert engine.two_path(left, right) == hash_join_project(left, right)
+
+    def test_star_correct(self, tiny_relation, tiny_relation_s):
+        engine = SQLLikeEngine()
+        relations = [tiny_relation, tiny_relation_s, tiny_relation]
+        assert engine.star(relations) == combinatorial_star(relations)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SQLLikeEngine(join_algorithm="nested")
+        with pytest.raises(ValueError):
+            SQLLikeEngine(dedup="bloom")
+
+    def test_flavours_have_names(self):
+        assert postgres_like().name == "postgres"
+        assert mysql_like().name == "mysql"
+        assert system_x_like().name == "system_x"
+
+    def test_overhead_slows_engine_down(self, tiny_relation, tiny_relation_s):
+        fast = SQLLikeEngine(per_tuple_overhead=0.0)
+        slow = SQLLikeEngine(per_tuple_overhead=1e-5)
+        fast_result = fast.run_two_path(tiny_relation, tiny_relation_s)
+        slow_result = slow.run_two_path(tiny_relation, tiny_relation_s)
+        assert slow_result.seconds > fast_result.seconds
+        assert fast_result.pairs == slow_result.pairs
+
+    def test_empty_inputs(self):
+        engine = SQLLikeEngine()
+        assert engine.two_path(Relation.empty(), Relation.empty()) == set()
+        assert engine.star([Relation.empty()]) == set()
+
+
+class TestSetIntersectionEngine:
+    def test_dense_path_correct(self, skewed_pair):
+        left, right = skewed_pair
+        engine = SetIntersectionEngine(dense_domain_limit=10**6)
+        assert engine.two_path(left, right) == hash_join_project(left, right)
+
+    def test_sparse_path_correct(self, skewed_pair):
+        left, right = skewed_pair
+        engine = SetIntersectionEngine(dense_domain_limit=1)  # force the sparse path
+        assert engine.two_path(left, right) == hash_join_project(left, right)
+
+    def test_star(self, tiny_relation, tiny_relation_s):
+        engine = SetIntersectionEngine()
+        relations = [tiny_relation, tiny_relation_s]
+        assert engine.star(relations) == combinatorial_star(relations)
+
+    def test_empty(self, tiny_relation):
+        engine = SetIntersectionEngine()
+        assert engine.two_path(tiny_relation, Relation.empty()) == set()
+
+
+class TestRegistry:
+    def test_all_engines_listed(self):
+        names = available_engines()
+        assert {"mmjoin", "non-mmjoin", "postgres", "mysql", "system_x", "emptyheaded"} <= set(names)
+
+    @pytest.mark.parametrize("name", ["mmjoin", "non-mmjoin", "postgres", "mysql", "system_x", "emptyheaded"])
+    def test_every_engine_two_path_agrees(self, skewed_pair, name):
+        left, right = skewed_pair
+        engine = make_engine(name)
+        assert engine.two_path(left, right) == hash_join_project(left, right)
+
+    @pytest.mark.parametrize("name", ["mmjoin", "non-mmjoin", "emptyheaded"])
+    def test_every_engine_star_agrees(self, tiny_relation, tiny_relation_s, name):
+        relations = [tiny_relation, tiny_relation_s, tiny_relation]
+        engine = make_engine(name)
+        assert engine.star(relations) == combinatorial_star(relations)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            make_engine("oracle")
+
+    def test_timed_wrappers(self, tiny_relation, tiny_relation_s):
+        engine = make_engine("mmjoin")
+        result = engine.run_two_path(tiny_relation, tiny_relation_s)
+        assert isinstance(result, EngineResult)
+        assert result.seconds >= 0
+        assert result.engine == "mmjoin"
+        assert len(result) == len(result.pairs)

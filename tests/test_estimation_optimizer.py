@@ -1,0 +1,120 @@
+"""Tests for output-size estimation and the cost-based optimizer."""
+
+import pytest
+
+from repro.core.config import MMJoinConfig
+from repro.core.estimation import (
+    estimate_output_size,
+    estimate_star_output_size,
+    exact_full_join_size,
+)
+from repro.core.optimizer import CostBasedOptimizer, CostConstants, OptimizerDecision
+from repro.data import generators
+from repro.data.relation import Relation
+from repro.joins.hash_join import hash_join_count, hash_join_project
+
+
+class TestEstimation:
+    def test_exact_full_join_size(self, tiny_relation, tiny_relation_s):
+        assert exact_full_join_size(tiny_relation, tiny_relation_s) == hash_join_count(
+            tiny_relation, tiny_relation_s
+        )
+
+    def test_bounds_contain_true_output(self, skewed_pair):
+        left, right = skewed_pair
+        est = estimate_output_size(left, right)
+        truth = len(hash_join_project(left, right))
+        assert est.lower_bound <= truth <= est.upper_bound
+
+    def test_estimate_within_bounds(self, skewed_pair):
+        left, right = skewed_pair
+        est = estimate_output_size(left, right)
+        assert est.lower_bound <= est.estimate <= est.upper_bound
+
+    def test_estimate_with_precomputed_join_size(self, tiny_relation, tiny_relation_s):
+        join_size = exact_full_join_size(tiny_relation, tiny_relation_s)
+        est = estimate_output_size(tiny_relation, tiny_relation_s, full_join_size=join_size)
+        assert est.full_join_size == join_size
+
+    def test_clamp(self, tiny_relation, tiny_relation_s):
+        est = estimate_output_size(tiny_relation, tiny_relation_s)
+        assert est.clamp(-5) == est.lower_bound
+        assert est.clamp(est.upper_bound * 10) == est.upper_bound
+
+    def test_community_instance_output_much_smaller_than_join(self, community_relation):
+        est = estimate_output_size(community_relation, community_relation)
+        assert est.upper_bound <= est.full_join_size
+        assert est.full_join_size > 5 * len(community_relation)
+
+    def test_star_estimate_bounds(self, tiny_relation, tiny_relation_s):
+        from repro.joins.baseline import combinatorial_star
+
+        relations = [tiny_relation, tiny_relation_s, tiny_relation]
+        est = estimate_star_output_size(relations)
+        truth = len(combinatorial_star(relations))
+        assert est.lower_bound <= truth <= max(est.upper_bound, est.lower_bound)
+
+    def test_star_estimate_empty(self):
+        est = estimate_star_output_size([])
+        assert est.estimate == 0.0
+
+
+class TestOptimizer:
+    def test_small_join_picks_wcoj(self):
+        rel = generators.roadnet_graph(400, seed=1)
+        decision = CostBasedOptimizer().choose_two_path(rel, rel)
+        assert decision.strategy == "wcoj"
+
+    def test_dense_join_picks_mmjoin(self, community_relation):
+        decision = CostBasedOptimizer().choose_two_path(community_relation, community_relation)
+        assert decision.strategy == "mmjoin"
+        assert decision.delta1 >= 1 and decision.delta2 >= 1
+
+    def test_full_join_factor_respected(self, community_relation):
+        config = MMJoinConfig(full_join_factor=1e12)
+        decision = CostBasedOptimizer(config=config).choose_two_path(
+            community_relation, community_relation
+        )
+        assert decision.strategy == "wcoj"
+
+    def test_decision_fields_populated(self, community_relation):
+        decision = CostBasedOptimizer().choose_two_path(community_relation, community_relation)
+        assert decision.full_join_size > 0
+        assert decision.estimated_output > 0
+        assert decision.estimated_cost > 0
+        assert decision.search_steps > 0
+
+    def test_search_terminates(self, skewed_pair):
+        left, right = skewed_pair
+        decision = CostBasedOptimizer().choose_two_path(left, right)
+        assert decision.search_steps < 200
+
+    def test_cost_constants_influence_decision(self, community_relation):
+        cheap_mm = CostBasedOptimizer(
+            constants=CostConstants(random_insert=1.0)  # make light work absurdly expensive
+        )
+        decision = cheap_mm.choose_two_path(community_relation, community_relation)
+        assert decision.strategy == "mmjoin"
+
+    def test_star_decision_small_input(self, tiny_relation, tiny_relation_s):
+        decision = CostBasedOptimizer().choose_star([tiny_relation, tiny_relation_s])
+        assert decision.strategy in ("wcoj", "mmjoin")
+
+    def test_star_decision_dense_input(self, community_relation):
+        relations = [community_relation, community_relation, community_relation]
+        decision = CostBasedOptimizer().choose_star(relations)
+        assert decision.strategy == "mmjoin"
+        assert decision.delta1 >= 1 and decision.delta2 >= 1
+
+    def test_star_single_relation_is_wcoj(self, tiny_relation):
+        decision = CostBasedOptimizer().choose_star([tiny_relation])
+        assert decision.strategy == "wcoj"
+
+    def test_thresholds_bounded_by_max_degree(self, skewed_pair):
+        left, right = skewed_pair
+        decision = CostBasedOptimizer().choose_two_path(left, right)
+        if decision.strategy == "mmjoin":
+            max_deg = max(
+                max(left.degrees_y().values()), max(right.degrees_y().values())
+            )
+            assert decision.delta1 <= max_deg + 1

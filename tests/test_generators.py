@@ -1,0 +1,124 @@
+"""Unit tests for repro.data.generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import generators
+from repro.data.generators import (
+    DatasetProfile,
+    PAPER_PROFILES,
+    community_bipartite,
+    example1_instance,
+    generate,
+    generate_all,
+    generate_dataset,
+    list_profiles,
+    roadnet_graph,
+    scaled_profile,
+    sparse_bipartite,
+    uniform_bipartite,
+    zipf_bipartite,
+)
+
+
+class TestProfiles:
+    def test_six_paper_profiles(self):
+        assert list_profiles() == ["dblp", "roadnet", "jokes", "words", "protein", "image"]
+        assert set(PAPER_PROFILES) == set(list_profiles())
+
+    def test_scaled_profile_shrinks(self):
+        base = PAPER_PROFILES["jokes"]
+        scaled = scaled_profile("jokes", 0.1)
+        assert scaled.num_tuples < base.num_tuples
+        assert scaled.num_sets < base.num_sets
+        assert scaled.name == "jokes"
+
+    def test_scaled_profile_floor(self):
+        scaled = scaled_profile("dblp", 1e-9)
+        assert scaled.num_tuples >= 10
+        assert scaled.num_sets >= 4
+
+
+class TestGenerators:
+    def test_zipf_deterministic(self):
+        a = zipf_bipartite(500, 50, 40, seed=3)
+        b = zipf_bipartite(500, 50, 40, seed=3)
+        assert a == b
+
+    def test_zipf_different_seeds_differ(self):
+        a = zipf_bipartite(500, 50, 40, seed=3)
+        b = zipf_bipartite(500, 50, 40, seed=4)
+        assert a != b
+
+    def test_zipf_domains_respected(self):
+        rel = zipf_bipartite(800, 60, 45, skew=1.2, seed=1)
+        assert rel.x_values().max() < 60
+        assert rel.y_values().max() < 45
+
+    def test_zipf_is_skewed(self):
+        rel = zipf_bipartite(5000, 100, 500, skew=1.5, seed=2)
+        degrees = sorted(rel.degrees_y().values(), reverse=True)
+        # the most popular element should dominate the median element
+        assert degrees[0] > 5 * degrees[len(degrees) // 2]
+
+    def test_uniform_bipartite(self):
+        rel = uniform_bipartite(1000, 50, 50, seed=0)
+        assert len(rel) > 0
+        assert rel.x_values().max() < 50
+
+    def test_sparse_bipartite_small_sets(self):
+        rel = sparse_bipartite(2000, 400, 300, max_set_size=20, seed=6)
+        assert max(rel.degrees_x().values()) <= 20
+
+    def test_roadnet_low_degree(self):
+        rel = roadnet_graph(400, seed=0)
+        assert max(rel.degrees_x().values()) <= 5
+        assert len(rel) > 300
+
+    def test_community_bipartite_block_structure(self):
+        rel = community_bipartite(60, 60, num_communities=3, density=0.9,
+                                  background_noise=0.0, seed=1)
+        # Elements within a community are shared by many sets -> high y degrees.
+        assert max(rel.degrees_y().values()) >= 10
+
+    def test_community_empty_when_density_zero(self):
+        rel = community_bipartite(20, 20, num_communities=2, density=0.0,
+                                  background_noise=0.0, seed=1)
+        assert len(rel) == 0
+
+    def test_example1_full_join_much_larger_than_output(self):
+        rel = example1_instance(600, num_communities=3, seed=2)
+        full_join = rel.full_join_size(rel)
+        # output is at most |dom(x)|^2 but full join blows up quadratically per community
+        assert full_join > 5 * len(rel)
+
+
+class TestProfileDriven:
+    @pytest.mark.parametrize("name", list_profiles())
+    def test_generate_dataset_nonempty(self, name):
+        rel = generate_dataset(name, scale=0.05, seed=1)
+        assert len(rel) > 0
+        assert rel.name == name
+
+    def test_generate_all(self):
+        datasets = generate_all(scale=0.03, seed=2)
+        assert set(datasets) == set(list_profiles())
+
+    def test_generate_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            generate_dataset("unknown")
+
+    def test_generate_unknown_kind(self):
+        profile = DatasetProfile(
+            name="x", num_tuples=10, num_sets=5, domain_size=5,
+            min_set_size=1, max_set_size=3, kind="nope",
+        )
+        with pytest.raises(ValueError):
+            generate(profile)
+
+    def test_dense_datasets_are_denser_than_sparse(self):
+        dense = generate_dataset("image", scale=0.05, seed=3)
+        sparse = generate_dataset("dblp", scale=0.05, seed=3)
+        dense_ratio = len(dense) / max(dense.x_values().size * dense.y_values().size, 1)
+        sparse_ratio = len(sparse) / max(sparse.x_values().size * sparse.y_values().size, 1)
+        assert dense_ratio > 10 * sparse_ratio

@@ -1,0 +1,131 @@
+"""Tests for the inverted index and the prefix tree (Example 6 machinery)."""
+
+import pytest
+
+from repro.setops.inverted_index import InvertedIndex, c_subsets, count_c_subsets
+from repro.setops.prefix_tree import PrefixTree
+
+
+@pytest.fixture
+def index(small_family):
+    return InvertedIndex(small_family)
+
+
+class TestInvertedIndex:
+    def test_lists_consistent_with_family(self, index, small_family):
+        for element, lst in index.lists().items():
+            for sid in lst:
+                assert element in small_family.get(int(sid)).tolist()
+
+    def test_list_length(self, index, small_family):
+        for element in index.elements():
+            assert index.list_length(element) == index.get(element).size
+
+    def test_missing_element(self, index):
+        assert index.get(999).size == 0
+        assert index.list_length(999) == 0
+
+    def test_order_by_frequency_descending(self, index):
+        order = index.order_by_frequency(descending=True)
+        lengths = [index.list_length(e) for e in order]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_order_by_frequency_ascending(self, index):
+        order = index.order_by_frequency(descending=False)
+        lengths = [index.list_length(e) for e in order]
+        assert lengths == sorted(lengths)
+
+    def test_rank_map_matches_order(self, index):
+        order = index.order_by_frequency()
+        ranks = index.rank_map()
+        assert all(ranks[e] == i for i, e in enumerate(order))
+
+    def test_reorder_set(self, index):
+        reordered = index.reorder_set([9, 1, 4])
+        ranks = index.rank_map()
+        assert [ranks[e] for e in reordered] == sorted(ranks[e] for e in [9, 1, 4])
+
+    def test_candidate_pairs_through(self, index, small_family):
+        pairs = set(index.candidate_pairs_through(2))
+        members = set(small_family.inverted_list(2).tolist())
+        for a, b in pairs:
+            assert a in members and b in members and a != b
+
+    def test_merge_lists_counts_are_intersections(self, index, small_family):
+        merged = index.merge_lists(small_family.get(0))
+        for sid, count in merged.items():
+            assert count == small_family.intersection_size(0, sid)
+
+    def test_merge_empty(self, index):
+        assert index.merge_lists([]) == {}
+
+
+class TestCSubsets:
+    def test_enumeration(self):
+        assert set(c_subsets([3, 1, 2], 2)) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_c_larger_than_set(self):
+        assert list(c_subsets([1, 2], 3)) == []
+
+    def test_c_zero(self):
+        assert list(c_subsets([1, 2], 0)) == []
+
+    def test_count_matches_enumeration(self):
+        elements = list(range(7))
+        for c in range(1, 5):
+            assert count_c_subsets(len(elements), c) == len(list(c_subsets(elements, c)))
+
+    def test_count_edge_cases(self):
+        assert count_c_subsets(5, 0) == 1
+        assert count_c_subsets(3, 5) == 0
+
+
+class TestPrefixTree:
+    def test_merged_counts_match_direct_merge(self, index, small_family):
+        tree = PrefixTree(index)
+        tree.build((sid, small_family.get(sid)) for sid in small_family.sets())
+        for sid in small_family.sets():
+            direct = index.merge_lists(small_family.get(sid))
+            assert tree.merged_counts(small_family.get(sid)) == direct
+
+    def test_cache_reuse_counted(self, index, small_family):
+        tree = PrefixTree(index)
+        tree.build((sid, small_family.get(sid)) for sid in small_family.sets())
+        for sid in small_family.sets():
+            tree.merged_counts(small_family.get(sid))
+        assert tree.cache_hits > 0
+        assert 0.0 < tree.reuse_ratio() <= 1.0
+
+    def test_materialization_depth_limit(self, index, small_family):
+        unlimited = PrefixTree(index)
+        unlimited.build((sid, small_family.get(sid)) for sid in small_family.sets())
+        limited = PrefixTree(index, max_materialize_depth=1)
+        limited.build((sid, small_family.get(sid)) for sid in small_family.sets())
+        for sid in small_family.sets():
+            unlimited.merged_counts(small_family.get(sid))
+            limited.merged_counts(small_family.get(sid))
+        assert limited.materialized_nodes() <= unlimited.materialized_nodes()
+
+    def test_results_identical_with_depth_limit(self, index, small_family):
+        limited = PrefixTree(index, max_materialize_depth=1)
+        limited.build((sid, small_family.get(sid)) for sid in small_family.sets())
+        for sid in small_family.sets():
+            assert limited.merged_counts(small_family.get(sid)) == index.merge_lists(
+                small_family.get(sid)
+            )
+
+    def test_unseen_prefix_handled(self, index):
+        tree = PrefixTree(index)
+        # No sets inserted: the walk falls through to plain merging.
+        assert tree.merged_counts([1, 2]) == index.merge_lists([1, 2])
+
+    def test_num_nodes_grows_with_inserts(self, index, small_family):
+        tree = PrefixTree(index)
+        before = tree.num_nodes()
+        tree.insert(0, small_family.get(0))
+        assert tree.num_nodes() > before
+
+    def test_terminal_sets_recorded(self, index, small_family):
+        tree = PrefixTree(index)
+        node = tree.insert(3, small_family.get(3))
+        assert 3 in node.terminal_sets

@@ -1,0 +1,100 @@
+"""Unit tests for repro.data.loaders."""
+
+import pytest
+
+from repro.data import loaders
+from repro.data.loaders import (
+    LoaderError,
+    load_csv,
+    load_edge_list,
+    load_transactions,
+    roundtrip_edge_list,
+    save_edge_list,
+    save_transactions,
+)
+from repro.data.relation import Relation
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, tiny_relation):
+        path = tmp_path / "edges.txt"
+        reloaded = roundtrip_edge_list(tiny_relation, path)
+        assert reloaded == tiny_relation
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n1 2\n3\t4\n")
+        rel = load_edge_list(path)
+        assert rel.pairs() == [(1, 2), (3, 4)]
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("1,2\n3,4\n")
+        rel = load_edge_list(path, delimiter=",")
+        assert len(rel) == 2
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(LoaderError):
+            load_edge_list(path)
+
+    def test_non_integer_field(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(LoaderError):
+            load_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert len(load_edge_list(path)) == 0
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("1 2\n")
+        assert load_edge_list(path).name == "mygraph"
+
+
+class TestCSV:
+    def test_load_by_index(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,100,x\n2,200,y\n")
+        rel = load_csv(path, x_column=0, y_column=1)
+        assert rel.pairs() == [(1, 100), (2, 200)]
+
+    def test_load_by_header_name(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("author,paper\n7,70\n8,80\n")
+        rel = load_csv(path, x_column="author", y_column="paper", has_header=True)
+        assert rel.pairs() == [(7, 70), (8, 80)]
+
+    def test_bad_row(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1\n")
+        with pytest.raises(LoaderError):
+            load_csv(path)
+
+
+class TestTransactions:
+    def test_roundtrip(self, tmp_path, small_family):
+        path = tmp_path / "sets.txt"
+        save_transactions(small_family.relation, path)
+        reloaded = load_transactions(path)
+        # set ids are renumbered by line; compare the multiset of sets.
+        original = sorted(tuple(v) for v in (s.tolist() for s in small_family.sets().values()))
+        loaded = sorted(tuple(v) for v in (s.tolist() for s in reloaded.index_x().values()))
+        assert original == loaded
+
+    def test_non_integer_element(self, tmp_path):
+        path = tmp_path / "sets.txt"
+        path.write_text("1 2 x\n")
+        with pytest.raises(LoaderError):
+            load_transactions(path)
+
+    def test_save_edge_list_header(self, tmp_path, tiny_relation):
+        path = tmp_path / "out.txt"
+        save_edge_list(tiny_relation, path)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line.startswith("#")
+        assert str(len(tiny_relation)) in first_line

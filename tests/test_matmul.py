@@ -1,0 +1,228 @@
+"""Unit tests for the matrix multiplication substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+from repro.matmul.blocked import block_count, blocked_matmul, rectangular_cost
+from repro.matmul.cost_model import MatMulCostModel, calibration_series, theoretical_cost
+from repro.matmul.dense import (
+    boolean_matmul,
+    build_adjacency,
+    build_pair_adjacency,
+    count_matmul,
+    naive_matmul,
+    nonzero_pairs,
+    nonzero_pairs_with_counts,
+)
+from repro.matmul.sparse import (
+    build_sparse_adjacency,
+    sparse_boolean_matmul,
+    sparse_count_matmul,
+    sparse_nonzero_pairs,
+    sparse_nonzero_pairs_with_counts,
+)
+from repro.matmul.strassen import strassen_flop_estimate, strassen_matmul
+
+
+@pytest.fixture
+def random_matrices():
+    rng = np.random.default_rng(3)
+    a = (rng.random((17, 23)) < 0.3).astype(np.float32)
+    b = (rng.random((23, 11)) < 0.3).astype(np.float32)
+    return a, b
+
+
+class TestDenseKernels:
+    def test_count_matmul_matches_naive(self, random_matrices):
+        a, b = random_matrices
+        assert np.allclose(count_matmul(a, b), naive_matmul(a, b))
+
+    def test_boolean_matmul(self, random_matrices):
+        a, b = random_matrices
+        counts = count_matmul(a, b)
+        assert np.array_equal(boolean_matmul(a, b), counts > 0.5)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            count_matmul(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            count_matmul(np.ones(3), np.ones((3, 2)))
+
+    def test_build_adjacency(self, tiny_relation):
+        matrix = build_adjacency(tiny_relation, [4, 5, 6], [4, 5, 6])
+        assert matrix[1, 1] == 1  # (5, 5)
+        assert matrix[0, 1] == 0  # (4, 5) absent
+
+    def test_nonzero_pairs_threshold(self):
+        product = np.array([[0.0, 2.0], [1.0, 3.0]])
+        rows, cols = [10, 20], [30, 40]
+        assert set(nonzero_pairs(product, rows, cols)) == {(10, 40), (20, 30), (20, 40)}
+        assert set(nonzero_pairs(product, rows, cols, threshold=1.5)) == {(10, 40), (20, 40)}
+
+    def test_nonzero_pairs_with_counts(self):
+        product = np.array([[0.0, 2.0], [1.0, 0.0]])
+        counts = nonzero_pairs_with_counts(product, [1, 2], [3, 4])
+        assert counts == {(1, 4): 2, (2, 3): 1}
+
+    def test_build_pair_adjacency(self, tiny_relation, tiny_relation_s):
+        groups = [(5, 5), (5, 6), (6, 5)]
+        matrix = build_pair_adjacency([tiny_relation, tiny_relation_s], groups, [4, 5, 6])
+        # group (5,5): R has (5,4),(5,5),(5,6); S has (5,4),(5,5),(5,6) -> all three columns set
+        assert matrix[0].tolist() == [1.0, 1.0, 1.0]
+        # group (6,5): R(6,*) = {4,5}; S(5,*) = {4,5,6} -> columns 4 and 5
+        assert matrix[2].tolist() == [1.0, 1.0, 0.0]
+
+
+class TestSparseKernels:
+    def test_sparse_matches_dense(self, tiny_relation, tiny_relation_s):
+        rows = tiny_relation.x_values()
+        mids = np.intersect1d(tiny_relation.y_values(), tiny_relation_s.y_values())
+        cols = tiny_relation_s.x_values()
+        dense_product = count_matmul(
+            build_adjacency(tiny_relation, rows, mids),
+            build_adjacency(tiny_relation_s, cols, mids).T,
+        )
+        sparse_product = sparse_count_matmul(
+            build_sparse_adjacency(tiny_relation, rows, mids),
+            build_sparse_adjacency(tiny_relation_s, cols, mids).T,
+        )
+        assert np.allclose(sparse_product.toarray(), dense_product)
+
+    def test_sparse_boolean_clips(self, tiny_relation):
+        rows = tiny_relation.x_values()
+        mids = tiny_relation.y_values()
+        m = build_sparse_adjacency(tiny_relation, rows, mids)
+        product = sparse_boolean_matmul(m, m.T)
+        assert product.data.max() <= 1.0
+
+    def test_sparse_nonzero_pairs_agree_with_dense(self, tiny_relation):
+        rows = tiny_relation.x_values()
+        mids = tiny_relation.y_values()
+        dense_product = count_matmul(
+            build_adjacency(tiny_relation, rows, mids),
+            build_adjacency(tiny_relation, rows, mids).T,
+        )
+        sparse_product = sparse_count_matmul(
+            build_sparse_adjacency(tiny_relation, rows, mids),
+            build_sparse_adjacency(tiny_relation, rows, mids).T,
+        )
+        assert set(sparse_nonzero_pairs(sparse_product, rows, rows)) == set(
+            nonzero_pairs(dense_product, rows, rows)
+        )
+        assert sparse_nonzero_pairs_with_counts(sparse_product, rows, rows) == (
+            nonzero_pairs_with_counts(dense_product, rows, rows)
+        )
+
+    def test_sparse_dimension_mismatch(self):
+        a = build_sparse_adjacency(Relation.from_pairs([(0, 0)]), [0], [0])
+        b = build_sparse_adjacency(Relation.from_pairs([(0, 0), (1, 1)]), [0, 1], [0, 1])
+        with pytest.raises(ValueError):
+            sparse_count_matmul(a, b)
+
+
+class TestBlocked:
+    def test_blocked_matches_numpy(self, random_matrices):
+        a, b = random_matrices
+        assert np.allclose(blocked_matmul(a, b, block_size=5), a @ b, atol=1e-4)
+
+    def test_blocked_default_block(self, random_matrices):
+        a, b = random_matrices
+        assert np.allclose(blocked_matmul(a, b), a @ b, atol=1e-4)
+
+    def test_blocked_with_strassen_kernel(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, size=(16, 16)).astype(np.float32)
+        b = rng.integers(0, 2, size=(16, 16)).astype(np.float32)
+        result = blocked_matmul(a, b, block_size=8, kernel=lambda x, y: strassen_matmul(x, y, cutoff=4).astype(np.float32))
+        assert np.allclose(result, a @ b, atol=1e-4)
+
+    def test_blocked_empty(self):
+        out = blocked_matmul(np.zeros((0, 3)), np.zeros((3, 2)))
+        assert out.shape == (0, 2)
+
+    def test_blocked_mismatch(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.ones((2, 3)), np.ones((4, 2)))
+
+    def test_rectangular_cost_classical(self):
+        assert rectangular_cost(10, 20, 30, omega=3.0) == pytest.approx(6000.0)
+
+    def test_rectangular_cost_omega2(self):
+        # U*V*W / beta with beta = 10
+        assert rectangular_cost(10, 20, 30, omega=2.0) == pytest.approx(600.0)
+
+    def test_rectangular_cost_zero_dim(self):
+        assert rectangular_cost(0, 5, 5) == 0.0
+
+    def test_block_count(self):
+        assert block_count(10, 10, 10, 5) == 8
+        assert block_count(0, 10, 10, 5) == 0
+
+
+class TestStrassen:
+    def test_matches_numpy_square(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((32, 32))
+        b = rng.random((32, 32))
+        assert np.allclose(strassen_matmul(a, b, cutoff=8), a @ b)
+
+    def test_matches_numpy_rectangular(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((13, 21))
+        b = rng.random((21, 9))
+        assert np.allclose(strassen_matmul(a, b, cutoff=4), a @ b)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            strassen_matmul(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_empty(self):
+        assert strassen_matmul(np.zeros((0, 4)), np.zeros((4, 2))).shape == (0, 2)
+
+    def test_flop_estimate_subcubic(self):
+        cubic = 1024.0 ** 3
+        assert strassen_flop_estimate(1024, cutoff=32) < cubic
+
+
+class TestCostModel:
+    def test_theoretical_cost_matches_rectangular(self):
+        assert theoretical_cost(8, 8, 8, omega=3.0) == pytest.approx(512.0)
+
+    def test_uncalibrated_uses_flops(self):
+        model = MatMulCostModel(flops_per_second=1e9)
+        assert model.estimate(1000, 1000, 1000, cores=1) == pytest.approx(2.0, rel=1e-6)
+
+    def test_zero_dimension(self):
+        assert MatMulCostModel().estimate(0, 10, 10) == 0.0
+
+    def test_speedup_monotone_in_cores(self):
+        model = MatMulCostModel()
+        times = [model.estimate(500, 500, 500, cores=c) for c in range(1, 6)]
+        assert all(t1 > t2 for t1, t2 in zip(times, times[1:]))
+
+    def test_calibration_fills_table(self):
+        model = MatMulCostModel(calibration_sizes=(32, 64))
+        table = model.calibrate(repeats=1)
+        assert set(table) == {32, 64}
+        assert model.is_calibrated
+        assert model.estimate(64, 64, 64) > 0
+
+    def test_set_table(self):
+        model = MatMulCostModel()
+        model.set_table({100: 0.001, 200: 0.008})
+        assert model.is_calibrated
+        # Estimates should be monotone in problem size.
+        assert model.estimate(100, 100, 100) < model.estimate(200, 200, 200)
+
+    def test_estimate_construction_scales_with_cells(self):
+        model = MatMulCostModel()
+        assert model.estimate_construction(10, 10, 10) < model.estimate_construction(100, 100, 100)
+
+    def test_calibration_series_shape(self):
+        model = MatMulCostModel()
+        rows = calibration_series(model, sizes=[100, 200], cores=[1, 2])
+        assert len(rows) == 4
+        assert rows[0][0] == 100 and rows[0][1] == 1

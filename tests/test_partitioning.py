@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.partitioning (the light/heavy split)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import partition_star, partition_two_path
+from repro.data.relation import Relation
+
+
+class TestTwoPathPartition:
+    def test_tuples_preserved(self, tiny_relation, tiny_relation_s):
+        part = partition_two_path(tiny_relation, tiny_relation_s, delta1=2, delta2=2)
+        assert part.r_light.union(part.r_heavy) == tiny_relation
+        assert part.s_light.union(part.s_heavy) == tiny_relation_s
+
+    def test_light_and_heavy_disjoint(self, tiny_relation, tiny_relation_s):
+        part = partition_two_path(tiny_relation, tiny_relation_s, delta1=2, delta2=2)
+        assert len(part.r_light.intersection(part.r_heavy)) == 0
+        assert len(part.s_light.intersection(part.s_heavy)) == 0
+
+    def test_heavy_tuples_have_heavy_values(self, skewed_pair):
+        left, right = skewed_pair
+        delta1, delta2 = 3, 3
+        part = partition_two_path(left, right, delta1, delta2)
+        left_deg_y = left.degrees_y()
+        right_deg_y = right.degrees_y()
+        for x, y in part.r_heavy:
+            assert left.degree_x(x) > delta2
+            assert left_deg_y.get(y, 0) > delta1 and right_deg_y.get(y, 0) > delta1
+
+    def test_light_tuples_touch_a_light_value(self, skewed_pair):
+        left, right = skewed_pair
+        delta1, delta2 = 3, 3
+        part = partition_two_path(left, right, delta1, delta2)
+        left_deg_y = left.degrees_y()
+        right_deg_y = right.degrees_y()
+        for x, y in part.r_light:
+            head_light = left.degree_x(x) <= delta2
+            witness_light = left_deg_y.get(y, 0) <= delta1 or right_deg_y.get(y, 0) <= delta1
+            assert head_light or witness_light
+
+    def test_heavy_value_lists_cover_heavy_relations(self, skewed_pair):
+        left, right = skewed_pair
+        part = partition_two_path(left, right, delta1=3, delta2=3)
+        assert set(part.r_heavy.x_values().tolist()) == set(part.heavy_x.tolist())
+        assert set(part.s_heavy.x_values().tolist()) == set(part.heavy_z.tolist())
+
+    def test_extreme_thresholds_everything_light(self, tiny_relation, tiny_relation_s):
+        part = partition_two_path(tiny_relation, tiny_relation_s, delta1=100, delta2=100)
+        assert len(part.r_heavy) == 0 and len(part.s_heavy) == 0
+        assert part.light_fraction() == 1.0
+
+    def test_threshold_one_makes_most_things_heavy(self, skewed_pair):
+        left, right = skewed_pair
+        part = partition_two_path(left, right, delta1=1, delta2=1)
+        assert len(part.r_heavy) > 0
+        assert part.matrix_dimensions()[0] > 0
+
+    def test_light_fraction_bounds(self, skewed_pair):
+        left, right = skewed_pair
+        part = partition_two_path(left, right, delta1=2, delta2=2)
+        assert 0.0 <= part.light_fraction() <= 1.0
+
+    def test_thresholds_clamped_to_one(self, tiny_relation, tiny_relation_s):
+        part = partition_two_path(tiny_relation, tiny_relation_s, delta1=0, delta2=-5)
+        assert part.delta1 == 1 and part.delta2 == 1
+
+    def test_empty_relation(self, tiny_relation):
+        part = partition_two_path(tiny_relation, Relation.empty(), delta1=2, delta2=2)
+        assert len(part.s_light) == 0 and len(part.s_heavy) == 0
+        assert part.heavy_y.size == 0
+
+
+class TestStarPartition:
+    def test_light_y_light_everywhere(self, tiny_relation, tiny_relation_s):
+        relations = [tiny_relation, tiny_relation_s, tiny_relation]
+        part = partition_star(relations, delta1=2, delta2=2)
+        for y in part.light_y:
+            for rel in relations:
+                assert rel.degree_y(int(y)) <= 2
+
+    def test_light_y_heavy_y_disjoint_cover_shared(self, tiny_relation, tiny_relation_s):
+        relations = [tiny_relation, tiny_relation_s]
+        part = partition_star(relations, delta1=2, delta2=2)
+        shared = set(tiny_relation.y_values().tolist()) & set(tiny_relation_s.y_values().tolist())
+        assert set(part.light_y.tolist()) | set(part.heavy_y.tolist()) == shared
+        assert not (set(part.light_y.tolist()) & set(part.heavy_y.tolist()))
+
+    def test_light_head_has_light_heads(self, skewed_pair):
+        left, right = skewed_pair
+        relations = [left, right]
+        part = partition_star(relations, delta1=3, delta2=3)
+        for i, light_rel in enumerate(part.light_head):
+            for x, _y in light_rel:
+                assert relations[i].degree_x(x) <= 3
+
+    def test_heavy_relations_have_heavy_heads_and_witnesses(self, skewed_pair):
+        left, right = skewed_pair
+        relations = [left, right]
+        part = partition_star(relations, delta1=3, delta2=3)
+        heavy_y = set(part.heavy_y.tolist())
+        for i, heavy_rel in enumerate(part.heavy):
+            for x, y in heavy_rel:
+                assert relations[i].degree_x(x) > 3
+                assert y in heavy_y
+
+    def test_heavy_heads_match_heavy_relations(self, skewed_pair):
+        left, right = skewed_pair
+        part = partition_star([left, right], delta1=3, delta2=3)
+        for heavy_rel, heads in zip(part.heavy, part.heavy_heads):
+            assert set(heavy_rel.x_values().tolist()) == set(heads.tolist())
+
+    def test_every_tuple_is_light_or_heavy_or_has_light_witness(self, tiny_relation, tiny_relation_s):
+        """Coverage invariant behind the correctness proof: any tuple whose head is
+        heavy and whose witness is heavy must appear in the heavy partition."""
+        relations = [tiny_relation, tiny_relation_s]
+        part = partition_star(relations, delta1=1, delta2=1)
+        heavy_y = set(part.heavy_y.tolist())
+        for i, rel in enumerate(relations):
+            heavy_rel_pairs = set(part.heavy[i].pairs())
+            for x, y in rel:
+                if rel.degree_x(x) > 1 and y in heavy_y:
+                    assert (x, y) in heavy_rel_pairs

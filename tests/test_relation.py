@@ -1,0 +1,212 @@
+"""Unit tests for repro.data.relation."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation, RelationError, RelationStats
+
+
+class TestConstruction:
+    def test_from_pairs_dedups(self):
+        rel = Relation.from_pairs([(1, 2), (1, 2), (3, 4)])
+        assert len(rel) == 2
+
+    def test_from_pairs_empty(self):
+        rel = Relation.from_pairs([])
+        assert len(rel) == 0
+        assert not rel
+
+    def test_from_arrays(self):
+        rel = Relation.from_arrays([1, 2, 3], [4, 5, 6])
+        assert len(rel) == 3
+        assert (2, 5) in rel
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(RelationError):
+            Relation.from_arrays([1, 2], [3])
+
+    def test_from_set_family(self):
+        rel = Relation.from_set_family({1: [10, 11], 2: [10]})
+        assert len(rel) == 3
+        assert (1, 10) in rel and (2, 10) in rel
+
+    def test_from_set_family_empty(self):
+        assert len(Relation.from_set_family({})) == 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(RelationError):
+            Relation(np.zeros((3, 3)))
+
+    def test_empty_constructor(self):
+        assert len(Relation.empty("X")) == 0
+
+    def test_name_preserved(self):
+        rel = Relation.from_pairs([(1, 2)], name="edges")
+        assert rel.name == "edges"
+        assert "edges" in repr(rel)
+
+
+class TestAccessors:
+    def test_iteration_yields_python_ints(self, tiny_relation):
+        for x, y in tiny_relation:
+            assert isinstance(x, int) and isinstance(y, int)
+
+    def test_contains(self, tiny_relation):
+        assert (5, 5) in tiny_relation
+        assert (5, 1) not in tiny_relation
+
+    def test_equality(self):
+        a = Relation.from_pairs([(1, 2), (3, 4)])
+        b = Relation.from_pairs([(3, 4), (1, 2)])
+        assert a == b
+
+    def test_data_is_readonly(self, tiny_relation):
+        with pytest.raises(ValueError):
+            tiny_relation.data[0, 0] = 99
+
+    def test_pairs_roundtrip(self, tiny_relation):
+        assert Relation.from_pairs(tiny_relation.pairs()) == tiny_relation
+
+    def test_xs_ys_columns(self):
+        rel = Relation.from_pairs([(1, 10), (2, 20)])
+        assert set(rel.xs.tolist()) == {1, 2}
+        assert set(rel.ys.tolist()) == {10, 20}
+
+
+class TestIndexes:
+    def test_index_x_sorted_neighbors(self, tiny_relation):
+        ys = tiny_relation.neighbors_x(5)
+        assert ys.tolist() == [4, 5, 6]
+
+    def test_index_y_sorted_neighbors(self, tiny_relation):
+        xs = tiny_relation.neighbors_y(4)
+        assert xs.tolist() == [1, 4, 5, 6]
+
+    def test_missing_value_returns_empty(self, tiny_relation):
+        assert tiny_relation.neighbors_x(99).size == 0
+        assert tiny_relation.neighbors_y(99).size == 0
+
+    def test_degrees_consistent_with_index(self, tiny_relation):
+        for x, d in tiny_relation.degrees_x().items():
+            assert d == tiny_relation.neighbors_x(x).size
+        for y, d in tiny_relation.degrees_y().items():
+            assert d == tiny_relation.neighbors_y(y).size
+
+    def test_degree_sums_equal_tuple_count(self, tiny_relation):
+        assert sum(tiny_relation.degrees_x().values()) == len(tiny_relation)
+        assert sum(tiny_relation.degrees_y().values()) == len(tiny_relation)
+
+    def test_x_values_sorted_unique(self, tiny_relation):
+        xs = tiny_relation.x_values()
+        assert np.all(np.diff(xs) > 0)
+
+    def test_empty_relation_indexes(self):
+        rel = Relation.empty()
+        assert rel.index_x() == {}
+        assert rel.index_y() == {}
+        assert rel.x_values().size == 0
+
+
+class TestAlgebra:
+    def test_swap_transposes(self, tiny_relation):
+        swapped = tiny_relation.swap()
+        assert len(swapped) == len(tiny_relation)
+        for x, y in tiny_relation:
+            assert (y, x) in swapped
+
+    def test_swap_twice_is_identity(self, tiny_relation):
+        assert tiny_relation.swap().swap() == tiny_relation
+
+    def test_restrict_x(self, tiny_relation):
+        sub = tiny_relation.restrict_x([5, 6])
+        assert set(sub.x_values().tolist()) == {5, 6}
+        assert len(sub) == 5
+
+    def test_restrict_y(self, tiny_relation):
+        sub = tiny_relation.restrict_y([4])
+        assert set(sub.y_values().tolist()) == {4}
+
+    def test_restrict_empty_values(self, tiny_relation):
+        assert len(tiny_relation.restrict_x([])) == 0
+
+    def test_union(self):
+        a = Relation.from_pairs([(1, 2)])
+        b = Relation.from_pairs([(3, 4), (1, 2)])
+        assert len(a.union(b)) == 2
+
+    def test_difference(self):
+        a = Relation.from_pairs([(1, 2), (3, 4)])
+        b = Relation.from_pairs([(1, 2)])
+        diff = a.difference(b)
+        assert diff.pairs() == [(3, 4)]
+
+    def test_difference_with_empty(self, tiny_relation):
+        assert tiny_relation.difference(Relation.empty()) == tiny_relation
+
+    def test_intersection(self):
+        a = Relation.from_pairs([(1, 2), (3, 4)])
+        b = Relation.from_pairs([(3, 4), (5, 6)])
+        assert a.intersection(b).pairs() == [(3, 4)]
+
+    def test_partition_identity(self, tiny_relation):
+        """light + heavy tuples reassemble the original relation."""
+        mask = tiny_relation.xs <= 3
+        light = tiny_relation.filter_pairs(mask)
+        heavy = tiny_relation.filter_pairs(~mask)
+        assert light.union(heavy) == tiny_relation
+
+    def test_semijoin_y(self, tiny_relation, tiny_relation_s):
+        reduced = tiny_relation.semijoin_y(tiny_relation_s)
+        for _x, y in reduced:
+            assert y in set(tiny_relation_s.y_values().tolist())
+
+    def test_sample_tuples_subset(self, tiny_relation):
+        sample = tiny_relation.sample_tuples(5, seed=1)
+        assert len(sample) == 5
+        for pair in sample:
+            assert pair in tiny_relation
+
+    def test_sample_larger_than_relation(self, tiny_relation):
+        assert len(tiny_relation.sample_tuples(1000)) == len(tiny_relation)
+
+
+class TestStatsAndMatrices:
+    def test_stats_fields(self, tiny_relation):
+        stats = tiny_relation.stats()
+        assert stats.num_tuples == len(tiny_relation)
+        assert stats.num_sets == 6
+        assert stats.min_set_size == 2
+        assert stats.max_set_size == 3
+
+    def test_stats_empty(self):
+        stats = Relation.empty().stats()
+        assert stats == RelationStats(0, 0, 0, 0.0, 0, 0)
+
+    def test_stats_as_row(self, tiny_relation):
+        row = tiny_relation.stats().as_row()
+        assert row["tuples"] == len(tiny_relation)
+        assert "avg_set_size" in row
+
+    def test_full_join_size_matches_bruteforce(self, tiny_relation, tiny_relation_s):
+        expected = 0
+        for y in set(tiny_relation.y_values().tolist()):
+            expected += tiny_relation.degree_y(y) * tiny_relation_s.degree_y(y)
+        assert tiny_relation.full_join_size(tiny_relation_s) == expected
+
+    def test_full_join_size_empty(self, tiny_relation):
+        assert tiny_relation.full_join_size(Relation.empty()) == 0
+
+    def test_adjacency_matrix_entries(self, tiny_relation):
+        rows = [4, 5, 6]
+        cols = [4, 5, 6]
+        matrix = tiny_relation.adjacency_matrix(rows, cols)
+        assert matrix.shape == (3, 3)
+        assert matrix[1, 0] == 1  # (5, 4) present
+        assert matrix[0, 1] == 0  # (4, 5) absent
+
+    def test_adjacency_matrix_empty_dims(self, tiny_relation):
+        assert tiny_relation.adjacency_matrix([], [1, 2]).shape == (0, 2)
+
+    def test_to_set_dict(self, tiny_relation):
+        sets = tiny_relation.to_set_dict()
+        assert sets[5] == {4, 5, 6}

