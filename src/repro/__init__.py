@@ -14,6 +14,10 @@ This package is a from-scratch Python reproduction of the system described in
 * ``repro.core`` — the paper's contribution: degree partitioning, the MMJoin
   two-path and star algorithms, output-size estimation, the cost-based
   optimizer and the boolean-set-intersection batch scheduler.
+* ``repro.plan`` — logical join-project query descriptions and the planner
+  that lowers them onto the physical pipeline, with ``explain()`` support.
+* ``repro.exec`` — the physical operators (semijoin-reduce, light/heavy
+  partition, combinatorial light, matmul heavy, dedup-merge).
 * ``repro.setops`` — set similarity join (SizeAware, SizeAware++, MMJoin),
   ordered SSJ and set containment join (PRETTI, LIMIT+, PIEJoin, MMJoin).
 * ``repro.engines`` — baseline query engines that stand in for the DBMSs the
@@ -37,11 +41,20 @@ from repro.core.star import star_join
 from repro.core.optimizer import CostBasedOptimizer, OptimizerDecision
 from repro.core.config import MMJoinConfig
 from repro.core.bsi import BooleanSetIntersection, BSIBatchScheduler
+from repro.plan.planner import PhysicalPlan, Planner
+from repro.plan.query import (
+    ContainmentJoinQuery,
+    JoinProjectQuery,
+    SimilarityJoinQuery,
+    StarQuery,
+    TwoPathQuery,
+)
+from repro.matmul.registry import BackendRegistry, MatMulBackend, default_registry
 from repro.setops.ssj import set_similarity_join
 from repro.setops.ssj_ordered import ordered_set_similarity_join
 from repro.setops.scj import set_containment_join
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Relation",
@@ -56,6 +69,16 @@ __all__ = [
     "MMJoinConfig",
     "BooleanSetIntersection",
     "BSIBatchScheduler",
+    "PhysicalPlan",
+    "Planner",
+    "JoinProjectQuery",
+    "TwoPathQuery",
+    "StarQuery",
+    "SimilarityJoinQuery",
+    "ContainmentJoinQuery",
+    "BackendRegistry",
+    "MatMulBackend",
+    "default_registry",
     "set_similarity_join",
     "ordered_set_similarity_join",
     "set_containment_join",

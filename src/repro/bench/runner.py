@@ -16,11 +16,18 @@ from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 @dataclass
 class Measurement:
-    """One timed call: trimmed-mean seconds plus the callable's return value."""
+    """One timed call: trimmed-mean seconds plus the callable's return value.
+
+    ``details`` carries the plan explanation when the measured callable
+    returns a planner-backed result (an object exposing ``explanation`` or a
+    ``details`` mapping): strategy, backend, thresholds and per-operator
+    estimated vs. actual cost.
+    """
 
     seconds: float
     runs: List[float]
     value: Any = None
+    details: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def best(self) -> float:
@@ -31,6 +38,17 @@ class Measurement:
     def worst(self) -> float:
         """Slowest observed run."""
         return max(self.runs) if self.runs else 0.0
+
+
+def extract_details(value: Any) -> Dict[str, Any]:
+    """Pull plan-explanation details out of a result object, if it has any."""
+    explanation = getattr(value, "explanation", None)
+    if explanation is not None and hasattr(explanation, "as_details"):
+        return explanation.as_details()
+    details = getattr(value, "details", None)
+    if isinstance(details, dict):
+        return dict(details)
+    return {}
 
 
 def time_call(
@@ -57,7 +75,12 @@ def time_call(
         kept = sorted(runs)[1:-1]
     else:
         kept = runs
-    return Measurement(seconds=float(statistics.mean(kept)), runs=runs, value=value)
+    return Measurement(
+        seconds=float(statistics.mean(kept)),
+        runs=runs,
+        value=value,
+        details=extract_details(value),
+    )
 
 
 def run_series(

@@ -1,11 +1,16 @@
 """Command-line interface for the reproduction.
 
-Three subcommands cover the common workflows without writing any Python:
+Five subcommands cover the common workflows without writing any Python:
 
 * ``repro-cli join <edge-list>`` — evaluate the 2-path join-project over an
-  edge-list file and report the output size, strategy and timings;
+  edge-list file (with ``--engine`` choosing any registered query engine)
+  and report the output size, strategy and timings;
+* ``repro-cli explain <edge-list>`` — run the planner pipeline and print the
+  chosen plan: strategy, thresholds, matmul backend and per-operator
+  estimated vs. actual cost;
 * ``repro-cli ssj <edge-list> --overlap C`` — run the set similarity join
   with a chosen method;
+* ``repro-cli scj <edge-list>`` — run the set containment join;
 * ``repro-cli datasets`` — regenerate the Table 2 dataset-statistics rows.
 
 The CLI is intentionally thin: it parses arguments, calls the same public API
@@ -16,15 +21,19 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.bench.report import format_table
-from repro.core.config import MMJoinConfig
-from repro.core.two_path import two_path_join
+from repro.core.config import MATRIX_BACKENDS, MMJoinConfig
+from repro.core.star import star_join_detailed
+from repro.core.two_path import two_path_join, two_path_join_detailed
 from repro.data.loaders import load_edge_list
 from repro.data.setfamily import SetFamily
+from repro.engines.registry import available_engines, make_engine
 from repro.setops.scj import SCJ_METHODS, set_containment_join
 from repro.setops.ssj import SSJ_METHODS, set_similarity_join
+
+BACKEND_CHOICES = list(MATRIX_BACKENDS)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,12 +45,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     join = sub.add_parser("join", help="evaluate the 2-path join-project over an edge list")
-    join.add_argument("path", help="edge-list file (x y per line)")
-    join.add_argument("--delta1", type=int, default=None, help="degree threshold for y")
-    join.add_argument("--delta2", type=int, default=None, help="degree threshold for x/z")
-    join.add_argument("--backend", choices=["auto", "dense", "sparse"], default="auto")
-    join.add_argument("--no-optimizer", action="store_true",
-                      help="force the plain worst-case optimal join")
+    _add_join_options(join)
+    join.add_argument("--engine", choices=available_engines(), default="mmjoin",
+                      help="query engine to evaluate with (default: mmjoin)")
+
+    explain = sub.add_parser(
+        "explain",
+        help="print the physical plan (operators, thresholds, backend, costs)",
+    )
+    _add_join_options(explain)
+    explain.add_argument("--query", choices=["two-path", "star"], default="two-path",
+                         help="logical query shape to plan")
+    explain.add_argument("--k", type=int, default=3,
+                         help="number of relations for --query star (self-join copies)")
 
     ssj = sub.add_parser("ssj", help="set similarity join over an edge list (set_id element)")
     ssj.add_argument("path")
@@ -58,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_join_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("path", help="edge-list file (x y per line)")
+    parser.add_argument("--delta1", type=int, default=None, help="degree threshold for y")
+    parser.add_argument("--delta2", type=int, default=None, help="degree threshold for x/z")
+    parser.add_argument("--backend", choices=BACKEND_CHOICES, default="auto")
+    parser.add_argument("--no-optimizer", action="store_true",
+                        help="force the plain worst-case optimal join")
+
+
 def _config_from_args(args: argparse.Namespace) -> MMJoinConfig:
     config = MMJoinConfig(matrix_backend=args.backend)
     if args.delta1 is not None and args.delta2 is not None:
@@ -69,17 +94,39 @@ def _config_from_args(args: argparse.Namespace) -> MMJoinConfig:
 
 def _run_join(args: argparse.Namespace) -> int:
     relation = load_edge_list(args.path)
-    result = two_path_join(relation, relation, config=_config_from_args(args))
-    rows = [{
-        "tuples": len(relation),
-        "output_pairs": len(result),
-        "strategy": result.strategy,
-        "delta1": result.delta1,
-        "delta2": result.delta2,
-        "matrix_dims": str(result.matrix_dims),
-        "seconds": result.timings.get("total", 0.0),
-    }]
+    if args.engine == "mmjoin":
+        result = two_path_join(relation, relation, config=_config_from_args(args))
+        rows = [{
+            "tuples": len(relation),
+            "output_pairs": len(result),
+            "strategy": result.strategy,
+            "delta1": result.delta1,
+            "delta2": result.delta2,
+            "matrix_dims": str(result.matrix_dims),
+            "seconds": result.timings.get("total", 0.0),
+        }]
+    else:
+        engine = make_engine(args.engine, config=_config_from_args(args))
+        engine_result = engine.run_two_path(relation, relation)
+        rows = [{
+            "tuples": len(relation),
+            "output_pairs": len(engine_result),
+            "engine": args.engine,
+            "seconds": engine_result.seconds,
+        }]
     print(format_table(rows, title=f"2-path join-project over {args.path}"))
+    return 0
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    relation = load_edge_list(args.path)
+    config = _config_from_args(args)
+    if args.query == "star":
+        result = star_join_detailed([relation] * max(int(args.k), 1), config=config)
+    else:
+        result = two_path_join_detailed(relation, relation, config=config)
+    print(f"plan for {args.query} join-project over {args.path}")
+    print(result.explain())
     return 0
 
 
@@ -123,6 +170,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "join": _run_join,
+        "explain": _run_explain,
         "ssj": _run_ssj,
         "scj": _run_scj,
         "datasets": _run_datasets,

@@ -11,7 +11,20 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 
-MATRIX_BACKENDS = ("dense", "sparse", "auto")
+MATRIX_BACKENDS = ("dense", "sparse", "blocked", "strassen", "auto")
+
+
+def _is_registered_backend(name: str) -> bool:
+    """Whether ``name`` is a custom backend in the default matmul registry.
+
+    Imported lazily: the registry module itself depends on this one, and the
+    built-in names short-circuit before this is ever consulted.
+    """
+    try:
+        from repro.matmul.registry import default_registry
+    except ImportError:  # pragma: no cover - registry is part of the package
+        return False
+    return name in default_registry()
 DEDUP_STRATEGIES = ("hash", "sort", "counter", "auto")
 
 
@@ -32,10 +45,14 @@ class MMJoinConfig:
         skips partitioning and evaluates the plain worst-case optimal join
         (the paper uses 20).
     matrix_backend:
-        ``dense`` (numpy), ``sparse`` (scipy CSR) or ``auto`` (dense when the
-        heavy sub-matrix density is above ``sparse_density_threshold``).
+        A backend name registered in the matmul
+        :class:`~repro.matmul.registry.BackendRegistry` (``dense``,
+        ``sparse``, ``blocked``, ``strassen``) or ``auto``, which lets the
+        registry pick the cheapest auto-eligible backend via the calibrated
+        cost model.
     sparse_density_threshold:
-        Density cut-over used by the ``auto`` backend.
+        Legacy density cut-over, retained for the ablation benchmarks that
+        sweep it; the registry's cost-model selection supersedes it.
     dedup_strategy:
         Strategy for light-part deduplication (see
         :class:`repro.joins.project.Deduplicator`).
@@ -65,9 +82,12 @@ class MMJoinConfig:
     use_optimizer: bool = True
 
     def __post_init__(self) -> None:
-        if self.matrix_backend not in MATRIX_BACKENDS:
+        if self.matrix_backend not in MATRIX_BACKENDS and not _is_registered_backend(
+            self.matrix_backend
+        ):
             raise ValueError(
-                f"matrix_backend must be one of {MATRIX_BACKENDS}, got {self.matrix_backend!r}"
+                f"matrix_backend must be one of {MATRIX_BACKENDS} or a backend "
+                f"registered in the matmul BackendRegistry, got {self.matrix_backend!r}"
             )
         if self.dedup_strategy not in DEDUP_STRATEGIES:
             raise ValueError(

@@ -29,6 +29,11 @@ from repro.data.indexes import DegreeStatistics
 from repro.data.relation import Relation
 from repro.matmul.cost_model import MatMulCostModel
 
+# Hard cap on the star grid search, mirroring the two-path search's 200-step
+# bound; the power-of-two grid is quadratic in log(max_degree) so this is
+# only reached on extremely skewed inputs.
+STAR_SEARCH_CAP = 200
+
 
 @dataclass(frozen=True)
 class CostConstants:
@@ -167,9 +172,21 @@ class CostBasedOptimizer:
         )
         candidates = _power_of_two_grid(max_degree)
         best: Optional[Tuple[float, int, int]] = None
+        seen: set = set()
         steps = 0
+        capped = False
         for delta1 in candidates:
+            prev_total = float("inf")
             for delta2 in candidates:
+                # The grid may repeat values (and callers may register custom
+                # grids); evaluate each (delta1, delta2) pair exactly once.
+                pair = (delta1, delta2)
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                if steps >= STAR_SEARCH_CAP:
+                    capped = True
+                    break
                 steps += 1
                 light = float(n) * (float(delta1) ** (k - 1)) * self.constants.random_insert
                 head = out_estimate * float(delta2) * self.constants.random_insert
@@ -186,6 +203,14 @@ class CostBasedOptimizer:
                 total = light + head + heavy
                 if best is None or total < best[0]:
                     best = (total, delta1, delta2)
+                if total > prev_total:
+                    # Cost started growing again along this delta2 row; the
+                    # previous iterate was the row minimum (the early-exit
+                    # mirror of the two-path search).
+                    break
+                prev_total = total
+            if capped:
+                break
         assert best is not None
         total, d1, d2 = best
         return OptimizerDecision(

@@ -5,35 +5,33 @@ projects it away:
 
 ``Q*_k(x1, ..., xk) = R1(x1, y), R2(x2, y), ..., Rk(xk, y)``.
 
-The evaluation mirrors Algorithm 1 generalised to k relations:
+Evaluation goes through the shared planner pipeline
+(:mod:`repro.plan.planner` composing the :mod:`repro.exec.operators`), which
+generalises Algorithm 1 to k relations:
 
 1. every sub-join in which some relation is replaced by its light-head part
    ``R-_i`` is evaluated with the worst-case optimal join and projected;
 2. the sub-join restricted to witnesses that are light in *every* relation
-   (the paper's ``R^{\\diamond}`` step) is evaluated the same way — its full
-   join is bounded by ``N * delta1^(k-1)``;
-3. the all-heavy residual is evaluated with one rectangular matrix product:
-   the head variables are split into two groups of size ``ceil(k/2)`` and
-   ``floor(k/2)``, each group's heavy combinations become the rows of one
-   adjacency matrix over the heavy witnesses, and the product's non-zero
-   entries are exactly the remaining output tuples (with witness counts).
+   (the paper's ``R^{\\diamond}`` step) is evaluated the same way;
+3. the all-heavy residual is evaluated with one rectangular matrix product
+   over grouped head combinations, on whichever matmul backend the registry
+   selects.
+
+This module only describes the logical query and adapts the execution state
+into the legacy :class:`StarJoinResult` shape.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
-from repro.core.optimizer import CostBasedOptimizer, OptimizerDecision
-from repro.core.partitioning import StarPartition, partition_star
+from repro.core.optimizer import OptimizerDecision
 from repro.data.relation import Relation
-from repro.joins.baseline import combinatorial_star
-from repro.joins.generic_join import generic_star_join_project
-from repro.matmul import dense as dense_mm
+from repro.plan.explain import PlanExplanation
+from repro.plan.planner import Planner
+from repro.plan.query import StarQuery
 
 HeadTuple = Tuple[int, ...]
 
@@ -49,8 +47,10 @@ class StarJoinResult:
     light_tuples: int = 0
     heavy_tuples: int = 0
     matrix_dims: Tuple[int, int, int] = (0, 0, 0)
+    backend: str = "dense"
     timings: Dict[str, float] = field(default_factory=dict)
     optimizer_decision: Optional[OptimizerDecision] = None
+    explanation: Optional[PlanExplanation] = None
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -64,6 +64,12 @@ class StarJoinResult:
     def output_size(self) -> int:
         """Number of distinct output tuples."""
         return len(self.tuples)
+
+    def explain(self) -> str:
+        """Human-readable per-operator cost/timing breakdown."""
+        if self.explanation is None:
+            return "no plan explanation available"
+        return self.explanation.format()
 
 
 def star_join(
@@ -81,238 +87,19 @@ def star_join_detailed(
     """Full-control star MMJoin entry point (see module docstring)."""
     if not relations:
         return StarJoinResult(tuples=set(), strategy="wcoj")
-    start = time.perf_counter()
-
-    reduced = _semijoin_reduce(relations)
-    if any(len(rel) == 0 for rel in reduced):
-        return StarJoinResult(
-            tuples=set(), strategy="wcoj", timings={"total": time.perf_counter() - start}
-        )
-    if len(reduced) == 1:
-        tuples = {(int(x),) for x in reduced[0].x_values()}
-        return StarJoinResult(
-            tuples=tuples, strategy="wcoj", timings={"total": time.perf_counter() - start}
-        )
-
-    decision = _decide(reduced, config)
-    if decision.strategy == "wcoj":
-        phase = time.perf_counter()
-        tuples = combinatorial_star(reduced)
-        result = StarJoinResult(
-            tuples=tuples,
-            strategy="wcoj",
-            light_tuples=len(tuples),
-            timings={"light": time.perf_counter() - phase},
-        )
-        result.optimizer_decision = decision
-        result.timings["total"] = time.perf_counter() - start
-        return result
-
-    result = _evaluate_mmjoin(reduced, decision.delta1, decision.delta2, config)
-    result.optimizer_decision = decision
-    result.timings["total"] = time.perf_counter() - start
-    return result
-
-
-# --------------------------------------------------------------------------- #
-# Internals
-# --------------------------------------------------------------------------- #
-def _semijoin_reduce(relations: Sequence[Relation]) -> List[Relation]:
-    """Keep only tuples whose witness appears in every relation."""
-    if any(len(rel) == 0 for rel in relations):
-        return [Relation.empty(rel.name) for rel in relations]
-    shared = relations[0].y_values()
-    for rel in relations[1:]:
-        shared = np.intersect1d(shared, rel.y_values(), assume_unique=True)
-    return [rel.restrict_y(shared, name=rel.name) for rel in relations]
-
-
-def _decide(relations: Sequence[Relation], config: MMJoinConfig) -> OptimizerDecision:
-    if config.delta1 is not None and config.delta2 is not None:
-        return OptimizerDecision(
-            strategy="mmjoin",
-            delta1=int(config.delta1),
-            delta2=int(config.delta2),
-            estimated_cost=0.0,
-            estimated_output=0.0,
-            full_join_size=0,
-        )
-    if not config.use_optimizer:
-        return OptimizerDecision(
-            strategy="wcoj", delta1=0, delta2=0,
-            estimated_cost=0.0, estimated_output=0.0, full_join_size=0,
-        )
-    optimizer = CostBasedOptimizer(config=config)
-    return optimizer.choose_star(relations)
-
-
-def _evaluate_mmjoin(
-    relations: Sequence[Relation],
-    delta1: int,
-    delta2: int,
-    config: MMJoinConfig,
-) -> StarJoinResult:
-    timings: Dict[str, float] = {}
-    phase = time.perf_counter()
-    partition = partition_star(relations, delta1, delta2)
-    timings["partition"] = time.perf_counter() - phase
-
-    # If nothing survived into the heavy residual the light sub-joins would
-    # just re-enumerate the whole query k times; a single worst-case optimal
-    # evaluation is strictly cheaper, so fall back to it.
-    if partition.heavy_y.size == 0 or any(len(rel) == 0 for rel in partition.heavy):
-        phase = time.perf_counter()
-        tuples = combinatorial_star(relations)
-        timings["light"] = time.perf_counter() - phase
-        return StarJoinResult(
-            tuples=tuples,
-            strategy="mmjoin",
-            delta1=partition.delta1,
-            delta2=partition.delta2,
-            light_tuples=len(tuples),
-            timings=timings,
-        )
-
-    # Steps 1 & 2: light sub-joins via the worst-case optimal join.
-    phase = time.perf_counter()
-    light_output: Set[HeadTuple] = set()
-    for i, light_rel in enumerate(partition.light_head):
-        if len(light_rel) == 0:
-            continue
-        sub = list(relations)
-        sub[i] = light_rel
-        light_output |= generic_star_join_project(sub)
-    if partition.light_y.size:
-        light_output |= generic_star_join_project(
-            relations, restrict_to=partition.light_y
-        )
-    timings["light"] = time.perf_counter() - phase
-
-    # Step 3: the all-heavy residual via a grouped matrix product.
-    heavy_output, dims, build_time, multiply_time = _heavy_star_product(partition)
-    timings["matrix_build"] = build_time
-    timings["matrix_multiply"] = multiply_time
-
+    planner = Planner(config=config)
+    plan = planner.execute(StarQuery(relations))
+    state = plan.state
     return StarJoinResult(
-        tuples=light_output | heavy_output,
-        strategy="mmjoin",
-        delta1=partition.delta1,
-        delta2=partition.delta2,
-        light_tuples=len(light_output),
-        heavy_tuples=len(heavy_output),
-        matrix_dims=dims,
-        timings=timings,
+        tuples=state.pairs,
+        strategy=state.strategy,
+        delta1=state.delta1,
+        delta2=state.delta2,
+        light_tuples=len(state.light_pairs),
+        heavy_tuples=len(state.heavy_pairs),
+        matrix_dims=state.matrix_dims,
+        backend=state.backend_name,
+        timings=dict(state.timings),
+        optimizer_decision=state.decision,
+        explanation=plan.explain(),
     )
-
-
-def _heavy_star_product(
-    partition: StarPartition,
-) -> Tuple[Set[HeadTuple], Tuple[int, int, int], float, float]:
-    """Evaluate the all-heavy residual with one matrix product.
-
-    Rows of matrix ``V`` are combinations of heavy head values of the first
-    ``ceil(k/2)`` relations that co-occur on some heavy witness; rows of
-    ``W`` are combinations from the remaining relations.  The product
-    ``V @ W^T`` has a positive entry exactly when the combined head tuple has
-    at least one heavy witness.
-    """
-    heavy_relations = partition.heavy
-    heavy_y = partition.heavy_y
-    k = len(heavy_relations)
-    if k == 0 or heavy_y.size == 0 or any(len(rel) == 0 for rel in heavy_relations):
-        return set(), (0, 0, 0), 0.0, 0.0
-
-    split = (k + 1) // 2
-    group_a = list(range(split))
-    group_b = list(range(split, k))
-
-    build_start = time.perf_counter()
-    rows_a, matrix_a = _group_matrix(heavy_relations, group_a, heavy_y)
-    rows_b, matrix_b = _group_matrix(heavy_relations, group_b, heavy_y)
-    build_time = time.perf_counter() - build_start
-    if not rows_a or not rows_b:
-        return set(), (len(rows_a), int(heavy_y.size), len(rows_b)), build_time, 0.0
-
-    multiply_start = time.perf_counter()
-    product = dense_mm.count_matmul(matrix_a, matrix_b.T)
-    hit_rows, hit_cols = np.nonzero(product > 0.5)
-    multiply_time = time.perf_counter() - multiply_start
-
-    output: Set[HeadTuple] = set()
-    for r, c in zip(hit_rows, hit_cols):
-        output.add(rows_a[int(r)] + rows_b[int(c)])
-    dims = (len(rows_a), int(heavy_y.size), len(rows_b))
-    return output, dims, build_time, multiply_time
-
-
-def _group_matrix(
-    heavy_relations: Sequence[Relation],
-    group: Sequence[int],
-    heavy_y: np.ndarray,
-) -> Tuple[List[HeadTuple], np.ndarray]:
-    """Build the grouped adjacency matrix for one half of the head variables.
-
-    Candidate head combinations are discovered per heavy witness (so only
-    combinations that actually co-occur appear as rows), then each row is
-    marked against every heavy witness it is fully connected to.  The
-    per-witness cartesian products are materialised with vectorised numpy
-    tiling, which is what keeps the construction cost close to the
-    ``(N/delta2)^{ceil(k/2)} * N/delta1`` bound of the analysis.
-    """
-    indexes = [heavy_relations[i].index_y() for i in group]
-
-    combo_blocks: List[np.ndarray] = []
-    column_blocks: List[np.ndarray] = []
-    for j, y in enumerate(heavy_y):
-        yi = int(y)
-        neighbour_lists = []
-        missing = False
-        for idx in indexes:
-            values = idx.get(yi)
-            if values is None or values.size == 0:
-                missing = True
-                break
-            neighbour_lists.append(values)
-        if missing:
-            continue
-        combos = _cartesian_arrays(neighbour_lists)
-        combo_blocks.append(combos)
-        column_blocks.append(np.full(combos.shape[0], j, dtype=np.int64))
-
-    if not combo_blocks:
-        return [], np.zeros((0, heavy_y.size), dtype=np.float32)
-
-    all_combos = np.concatenate(combo_blocks, axis=0)
-    all_columns = np.concatenate(column_blocks)
-    unique_rows, inverse = np.unique(all_combos, axis=0, return_inverse=True)
-    matrix = np.zeros((unique_rows.shape[0], heavy_y.size), dtype=np.float32)
-    matrix[inverse, all_columns] = 1.0
-    rows = [tuple(int(v) for v in row) for row in unique_rows]
-    return rows, matrix
-
-
-def _cartesian_arrays(lists: List[np.ndarray]) -> np.ndarray:
-    """Cartesian product of 1-D integer arrays as an (n, k) array."""
-    if len(lists) == 1:
-        return lists[0].reshape(-1, 1)
-    grids = np.meshgrid(*lists, indexing="ij")
-    return np.stack([g.ravel() for g in grids], axis=1)
-
-
-def _iter_product(lists: List[np.ndarray]):
-    """Cartesian product of numpy arrays yielding python int tuples."""
-    if len(lists) == 1:
-        for a in lists[0]:
-            yield (int(a),)
-        return
-    if len(lists) == 2:
-        for a in lists[0]:
-            ai = int(a)
-            for b in lists[1]:
-                yield (ai, int(b))
-        return
-    head, *tail = lists
-    for a in head:
-        ai = int(a)
-        for rest in _iter_product(tail):
-            yield (ai,) + rest

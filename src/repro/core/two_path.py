@@ -1,17 +1,13 @@
 """MMJoin for the 2-path query (Algorithm 1 of the paper).
 
-``two_path_join`` computes ``pi_{x,z}( R(x,y) |><| S(z,y) )`` by
-
-1. removing dangling tuples (semijoin reduction),
-2. asking the cost-based optimizer whether partitioning pays off at all
-   (small full joins are simply evaluated with the combinatorial
-   worst-case-optimal join),
-3. splitting both relations into light and heavy parts with the degree
-   thresholds ``delta1`` (join variable) and ``delta2`` (head variables),
-4. evaluating ``R- |><| S`` and ``R |><| S-`` with the combinatorial join and
-   deduplicating,
-5. evaluating the all-heavy residual with one rectangular matrix product and
-   reading the output pairs off the non-zero entries.
+``two_path_join`` computes ``pi_{x,z}( R(x,y) |><| S(z,y) )``; the actual
+orchestration — semijoin reduction, the optimizer's strategy choice, the
+light/heavy partition, the combinatorial light join, the matrix-product
+heavy join and the final dedup-merge — lives in the shared planner pipeline
+(:mod:`repro.plan.planner` composing the :mod:`repro.exec.operators`).
+This module only describes the logical query, runs the plan, and adapts the
+execution state into the legacy :class:`MMJoinResult` shape (including its
+``explain()`` facility).
 
 ``two_path_join_counts`` is the witness-counting variant used by the set
 similarity application: the join variable alone is partitioned so that every
@@ -21,21 +17,15 @@ heavy witnesses by the matrix product (whose entries *are* the counts).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set, Tuple
-
-import numpy as np
+from typing import Dict, Optional, Set, Tuple
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
-from repro.core.estimation import estimate_output_size
-from repro.core.optimizer import CostBasedOptimizer, OptimizerDecision
-from repro.core.partitioning import TwoPathPartition, partition_two_path
+from repro.core.optimizer import OptimizerDecision
 from repro.data.relation import Relation
-from repro.joins.baseline import combinatorial_two_path
-from repro.joins.generic_join import generic_two_path_project
-from repro.matmul import dense as dense_mm
-from repro.matmul import sparse as sparse_mm
+from repro.plan.explain import PlanExplanation
+from repro.plan.planner import Planner
+from repro.plan.query import TwoPathQuery
 
 Pair = Tuple[int, int]
 
@@ -61,9 +51,15 @@ class MMJoinResult:
         matrix product respectively (they may overlap).
     matrix_dims:
         ``(U, V, W)`` dimensions of the heavy matrix product.
+    backend:
+        Name of the matmul backend the registry selected for the heavy part.
     timings:
         Wall-clock seconds per phase (keys: ``partition``, ``light``,
-        ``matrix_build``, ``matrix_multiply``, ``total``).
+        ``matrix_build``, ``matrix_multiply``, ``total``, plus one key per
+        physical operator).
+    explanation:
+        The per-operator :class:`~repro.plan.explain.PlanExplanation`
+        produced by the planner pipeline; see :meth:`explain`.
     """
 
     pairs: Set[Pair]
@@ -77,6 +73,7 @@ class MMJoinResult:
     backend: str = "dense"
     timings: Dict[str, float] = field(default_factory=dict)
     optimizer_decision: Optional[OptimizerDecision] = None
+    explanation: Optional[PlanExplanation] = None
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -90,6 +87,12 @@ class MMJoinResult:
     def output_size(self) -> int:
         """Number of distinct output pairs."""
         return len(self.pairs)
+
+    def explain(self) -> str:
+        """Human-readable per-operator cost/timing breakdown."""
+        if self.explanation is None:
+            return "no plan explanation available"
+        return self.explanation.format()
 
 
 # --------------------------------------------------------------------------- #
@@ -130,281 +133,33 @@ def two_path_join_detailed(
     with_counts:
         Also compute exact witness counts (needed by SSJ).
     """
-    start = time.perf_counter()
-    timings: Dict[str, float] = {}
+    planner = Planner(config=config)
+    plan = planner.execute(TwoPathQuery(left=left, right=right, counting=with_counts))
+    return result_from_plan(plan, with_counts=with_counts)
 
-    # Step 0: semijoin reduction — drop tuples that cannot contribute.
-    reduced_left = left.semijoin_y(right, name=left.name)
-    reduced_right = right.semijoin_y(left, name=right.name)
-    if len(reduced_left) == 0 or len(reduced_right) == 0:
-        timings["total"] = time.perf_counter() - start
-        return MMJoinResult(pairs=set(), counts={} if with_counts else None,
-                            strategy="wcoj", timings=timings)
 
-    # Step 1: decide the strategy and the thresholds.
-    decision = _decide(reduced_left, reduced_right, config)
-    if decision.strategy == "wcoj":
-        result = _evaluate_wcoj(reduced_left, reduced_right, config, with_counts)
-        result.optimizer_decision = decision
-        result.timings["total"] = time.perf_counter() - start
-        return result
-
-    delta1, delta2 = decision.delta1, decision.delta2
+def result_from_plan(plan, with_counts: bool = False) -> MMJoinResult:
+    """Adapt an executed two-path plan into an :class:`MMJoinResult`."""
+    state = plan.state
     if with_counts:
-        result = _evaluate_counting(reduced_left, reduced_right, delta1, config)
+        counts = state.counts if state.counts is not None else {}
+        light_found = len(state.light_counts)
+        heavy_found = len(state.heavy_counts)
     else:
-        result = _evaluate_pairs(reduced_left, reduced_right, delta1, delta2, config)
-    result.optimizer_decision = decision
-    result.timings["total"] = time.perf_counter() - start
-    return result
-
-
-# --------------------------------------------------------------------------- #
-# Strategy decision
-# --------------------------------------------------------------------------- #
-def _decide(left: Relation, right: Relation, config: MMJoinConfig) -> OptimizerDecision:
-    if config.delta1 is not None and config.delta2 is not None:
-        return OptimizerDecision(
-            strategy="mmjoin",
-            delta1=int(config.delta1),
-            delta2=int(config.delta2),
-            estimated_cost=0.0,
-            estimated_output=0.0,
-            full_join_size=0,
-        )
-    if not config.use_optimizer:
-        return OptimizerDecision(
-            strategy="wcoj", delta1=0, delta2=0,
-            estimated_cost=0.0, estimated_output=0.0, full_join_size=0,
-        )
-    optimizer = CostBasedOptimizer(config=config)
-    return optimizer.choose_two_path(left, right)
-
-
-# --------------------------------------------------------------------------- #
-# Plain worst-case optimal evaluation
-# --------------------------------------------------------------------------- #
-def _evaluate_wcoj(
-    left: Relation, right: Relation, config: MMJoinConfig, with_counts: bool
-) -> MMJoinResult:
-    phase_start = time.perf_counter()
-    if with_counts:
-        counts = combinatorial_two_path(left, right, with_counts=True)
-        pairs = set(counts)
-        result = MMJoinResult(pairs=pairs, counts=counts, strategy="wcoj")
-    else:
-        pairs = combinatorial_two_path(
-            left, right, dedup_strategy=config.dedup_strategy
-        )
-        result = MMJoinResult(pairs=pairs, strategy="wcoj")
-    result.light_pairs = len(result.pairs)
-    result.timings["light"] = time.perf_counter() - phase_start
-    return result
-
-
-# --------------------------------------------------------------------------- #
-# Set-semantics MMJoin (Algorithm 1)
-# --------------------------------------------------------------------------- #
-def _evaluate_pairs(
-    left: Relation,
-    right: Relation,
-    delta1: int,
-    delta2: int,
-    config: MMJoinConfig,
-) -> MMJoinResult:
-    timings: Dict[str, float] = {}
-    phase_start = time.perf_counter()
-    partition = partition_two_path(left, right, delta1, delta2)
-    timings["partition"] = time.perf_counter() - phase_start
-
-    # Light part: R- |><| S and R |><| S-, evaluated combinatorially.
-    phase_start = time.perf_counter()
-    light_output: Set[Pair] = set()
-    if len(partition.r_light):
-        light_output |= _probe_join(partition.r_light, right)
-    if len(partition.s_light):
-        # R |><| S-: probe from the S- side and flip the pairs.
-        flipped = _probe_join(partition.s_light, left)
-        light_output |= {(b, a) for a, b in flipped}
-    timings["light"] = time.perf_counter() - phase_start
-
-    # Heavy part: one rectangular matrix product over the heavy values.
-    heavy_output, matrix_dims, backend, build_time, multiply_time = _heavy_product(
-        partition, config, with_counts=False
-    )
-    timings["matrix_build"] = build_time
-    timings["matrix_multiply"] = multiply_time
-
-    pairs = light_output | heavy_output
+        counts = None
+        light_found = len(state.light_pairs)
+        heavy_found = len(state.heavy_pairs)
     return MMJoinResult(
-        pairs=pairs,
-        strategy="mmjoin",
-        delta1=partition.delta1,
-        delta2=partition.delta2,
-        light_pairs=len(light_output),
-        heavy_pairs=len(heavy_output),
-        matrix_dims=matrix_dims,
-        backend=backend,
-        timings=timings,
-    )
-
-
-def _probe_join(probe_side: Relation, other: Relation) -> Set[Pair]:
-    """Projected join where ``probe_side`` drives the probing (x from probe side)."""
-    output: Set[Pair] = set()
-    other_index = other.index_y()
-    for x, y in zip(probe_side.xs, probe_side.ys):
-        partners = other_index.get(int(y))
-        if partners is None:
-            continue
-        xi = int(x)
-        for z in partners:
-            output.add((xi, int(z)))
-    return output
-
-
-# --------------------------------------------------------------------------- #
-# Counting MMJoin (witness counts, used by SSJ)
-# --------------------------------------------------------------------------- #
-def _evaluate_counting(
-    left: Relation,
-    right: Relation,
-    delta1: int,
-    config: MMJoinConfig,
-) -> MMJoinResult:
-    """Witness-counting variant: the join variable alone is partitioned.
-
-    A witness ``y`` is heavy when its degree exceeds ``delta1`` in *both*
-    relations; heavy witnesses are counted by the matrix product, light
-    witnesses combinatorially.  The two witness populations are disjoint so
-    the counts add up exactly.
-    """
-    timings: Dict[str, float] = {}
-    phase_start = time.perf_counter()
-    left_deg_y = left.degrees_y()
-    right_deg_y = right.degrees_y()
-    shared = set(left_deg_y) & set(right_deg_y)
-    heavy_y = np.asarray(
-        sorted(
-            y for y in shared
-            if left_deg_y[y] > delta1 and right_deg_y[y] > delta1
-        ),
-        dtype=np.int64,
-    )
-    heavy_y_set = set(int(v) for v in heavy_y)
-    light_y = [y for y in shared if int(y) not in heavy_y_set]
-    timings["partition"] = time.perf_counter() - phase_start
-
-    # Light witnesses: plain counting expansion.
-    phase_start = time.perf_counter()
-    counts: Dict[Pair, int] = {}
-    left_index = left.index_y()
-    right_index = right.index_y()
-    for y in light_y:
-        xs = left_index[int(y)]
-        zs = right_index[int(y)]
-        for x in xs:
-            xi = int(x)
-            for z in zs:
-                key = (xi, int(z))
-                counts[key] = counts.get(key, 0) + 1
-    light_pairs = len(counts)
-    timings["light"] = time.perf_counter() - phase_start
-
-    # Heavy witnesses: the matrix product entries are the counts.
-    heavy_pairs = 0
-    matrix_dims = (0, 0, 0)
-    backend = "dense"
-    build_time = multiply_time = 0.0
-    if heavy_y.size:
-        left_heavy = left.restrict_y(heavy_y, name=f"{left.name}+")
-        right_heavy = right.restrict_y(heavy_y, name=f"{right.name}+")
-        rows = left_heavy.x_values()
-        cols = right_heavy.x_values()
-        matrix_dims = (int(rows.size), int(heavy_y.size), int(cols.size))
-        backend = _pick_backend(config, left_heavy, right_heavy, matrix_dims)
-        phase_start = time.perf_counter()
-        if backend == "sparse":
-            m1 = sparse_mm.build_sparse_adjacency(left_heavy, rows, heavy_y)
-            m2 = sparse_mm.build_sparse_adjacency(right_heavy, cols, heavy_y).T
-            build_time = time.perf_counter() - phase_start
-            phase_start = time.perf_counter()
-            product = sparse_mm.sparse_count_matmul(m1, m2)
-            heavy_counts = sparse_mm.sparse_nonzero_pairs_with_counts(product, rows, cols)
-        else:
-            m1 = dense_mm.build_adjacency(left_heavy, rows, heavy_y)
-            m2 = dense_mm.build_adjacency(right_heavy, cols, heavy_y).T
-            build_time = time.perf_counter() - phase_start
-            phase_start = time.perf_counter()
-            product = dense_mm.count_matmul(m1, m2)
-            heavy_counts = dense_mm.nonzero_pairs_with_counts(product, rows, cols)
-        multiply_time = time.perf_counter() - phase_start
-        heavy_pairs = len(heavy_counts)
-        for key, value in heavy_counts.items():
-            counts[key] = counts.get(key, 0) + value
-    timings["matrix_build"] = build_time
-    timings["matrix_multiply"] = multiply_time
-
-    return MMJoinResult(
-        pairs=set(counts),
+        pairs=state.pairs,
         counts=counts,
-        strategy="mmjoin",
-        delta1=delta1,
-        delta2=delta1,
-        light_pairs=light_pairs,
-        heavy_pairs=heavy_pairs,
-        matrix_dims=matrix_dims,
-        backend=backend,
-        timings=timings,
+        strategy=state.strategy,
+        delta1=state.delta1,
+        delta2=state.delta2,
+        light_pairs=light_found,
+        heavy_pairs=heavy_found,
+        matrix_dims=state.matrix_dims,
+        backend=state.backend_name,
+        timings=dict(state.timings),
+        optimizer_decision=state.decision,
+        explanation=plan.explain(),
     )
-
-
-# --------------------------------------------------------------------------- #
-# Heavy residual evaluation
-# --------------------------------------------------------------------------- #
-def _heavy_product(
-    partition: TwoPathPartition,
-    config: MMJoinConfig,
-    with_counts: bool,
-) -> Tuple[Set[Pair], Tuple[int, int, int], str, float, float]:
-    rows = partition.heavy_x
-    cols = partition.heavy_z
-    mids = partition.heavy_y
-    dims = (int(rows.size), int(mids.size), int(cols.size))
-    if min(dims) == 0:
-        return set(), dims, "dense", 0.0, 0.0
-    backend = _pick_backend(config, partition.r_heavy, partition.s_heavy, dims)
-    build_start = time.perf_counter()
-    if backend == "sparse":
-        m1 = sparse_mm.build_sparse_adjacency(partition.r_heavy, rows, mids)
-        m2 = sparse_mm.build_sparse_adjacency(partition.s_heavy, cols, mids).T
-        build_time = time.perf_counter() - build_start
-        multiply_start = time.perf_counter()
-        product = sparse_mm.sparse_count_matmul(m1, m2)
-        pairs = set(sparse_mm.sparse_nonzero_pairs(product, rows, cols))
-    else:
-        m1 = dense_mm.build_adjacency(partition.r_heavy, rows, mids)
-        m2 = dense_mm.build_adjacency(partition.s_heavy, cols, mids).T
-        build_time = time.perf_counter() - build_start
-        multiply_start = time.perf_counter()
-        product = dense_mm.count_matmul(m1, m2)
-        pairs = set(dense_mm.nonzero_pairs(product, rows, cols))
-    multiply_time = time.perf_counter() - multiply_start
-    return pairs, dims, backend, build_time, multiply_time
-
-
-def _pick_backend(
-    config: MMJoinConfig,
-    left_heavy: Relation,
-    right_heavy: Relation,
-    dims: Tuple[int, int, int],
-) -> str:
-    if config.matrix_backend in ("dense", "sparse"):
-        return config.matrix_backend
-    u, v, w = dims
-    cells = max(u * v + v * w, 1)
-    density = (len(left_heavy) + len(right_heavy)) / cells
-    # Very large dense matrices are avoided regardless of density.
-    if max(u, v, w) > config.max_heavy_dimension:
-        return "sparse"
-    return "dense" if density >= config.sparse_density_threshold else "sparse"

@@ -12,7 +12,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Set, Tuple
+from typing import Any, Dict, Sequence, Set, Tuple
 
 from repro.data.relation import Relation
 
@@ -22,12 +22,18 @@ HeadTuple = Tuple[int, ...]
 
 @dataclass
 class EngineResult:
-    """Output and wall-clock time of one engine invocation."""
+    """Output and wall-clock time of one engine invocation.
+
+    ``details`` carries engine-specific execution metadata; for the planner
+    engines this is the flattened plan explanation (strategy, backend,
+    thresholds and one entry per physical operator with estimated vs.
+    actual cost).
+    """
 
     pairs: Set[Tuple[int, ...]]
     seconds: float
     engine: str
-    details: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -46,15 +52,27 @@ class QueryEngine(abc.ABC):
     def star(self, relations: Sequence[Relation]) -> Set[HeadTuple]:
         """Evaluate the projected star join over the given relations."""
 
+    def collect_details(self) -> Dict[str, Any]:
+        """Execution metadata for the most recent evaluation.
+
+        Engines backed by the planner override this to expose the plan
+        explanation; the default is empty.
+        """
+        return {}
+
     # Timed wrappers -------------------------------------------------------
     def run_two_path(self, left: Relation, right: Relation) -> EngineResult:
         """Evaluate the 2-path query and record the wall-clock time."""
         start = time.perf_counter()
         pairs = self.two_path(left, right)
-        return EngineResult(pairs=pairs, seconds=time.perf_counter() - start, engine=self.name)
+        seconds = time.perf_counter() - start
+        return EngineResult(pairs=pairs, seconds=seconds, engine=self.name,
+                            details=self.collect_details())
 
     def run_star(self, relations: Sequence[Relation]) -> EngineResult:
         """Evaluate the star query and record the wall-clock time."""
         start = time.perf_counter()
         tuples = self.star(relations)
-        return EngineResult(pairs=tuples, seconds=time.perf_counter() - start, engine=self.name)
+        seconds = time.perf_counter() - start
+        return EngineResult(pairs=tuples, seconds=seconds, engine=self.name,
+                            details=self.collect_details())

@@ -3,21 +3,25 @@
 ``make_engine`` builds a :class:`~repro.engines.base.QueryEngine` by name;
 the two output-sensitive algorithms (MMJoin and the combinatorial
 Non-MMJoin) are wrapped in thin adapters so they expose the same interface
-as the DBMS stand-ins.
+as the DBMS stand-ins.  The MMJoin adapter evaluates through the shared
+planner pipeline and surfaces the plan explanation via
+:meth:`~repro.engines.base.QueryEngine.collect_details`, so every
+``EngineResult`` carries per-operator estimated vs. actual costs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
-from repro.core.star import star_join
-from repro.core.two_path import two_path_join
 from repro.data.relation import Relation
 from repro.engines.base import HeadTuple, Pair, QueryEngine
 from repro.engines.setintersection import SetIntersectionEngine
 from repro.engines.sql_engine import mysql_like, postgres_like, system_x_like
 from repro.joins.baseline import combinatorial_star, combinatorial_two_path
+from repro.plan.explain import PlanExplanation
+from repro.plan.planner import Planner
+from repro.plan.query import StarQuery, TwoPathQuery
 
 
 class MMJoinEngine(QueryEngine):
@@ -27,12 +31,23 @@ class MMJoinEngine(QueryEngine):
 
     def __init__(self, config: MMJoinConfig = DEFAULT_CONFIG) -> None:
         self.config = config
+        self.planner = Planner(config=config)
+        self._last_explanation: Optional[PlanExplanation] = None
 
     def two_path(self, left: Relation, right: Relation) -> Set[Pair]:
-        return two_path_join(left, right, config=self.config).pairs
+        plan = self.planner.execute(TwoPathQuery(left=left, right=right))
+        self._last_explanation = plan.explain()
+        return plan.state.pairs
 
     def star(self, relations: Sequence[Relation]) -> Set[HeadTuple]:
-        return star_join(relations, config=self.config).tuples
+        plan = self.planner.execute(StarQuery(relations))
+        self._last_explanation = plan.explain()
+        return plan.state.pairs
+
+    def collect_details(self) -> Dict[str, Any]:
+        if self._last_explanation is None:
+            return {}
+        return self._last_explanation.as_details()
 
 
 class NonMMJoinEngine(QueryEngine):

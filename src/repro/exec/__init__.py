@@ -1,0 +1,22 @@
+"""Physical operators and execution state for the MMJoin pipeline."""
+
+from repro.exec.operators import (
+    CombinatorialLight,
+    DedupMerge,
+    LightHeavyPartition,
+    MatMulHeavy,
+    PhysicalOperator,
+    SemijoinReduce,
+)
+from repro.exec.state import CountingPartition, ExecutionState
+
+__all__ = [
+    "CombinatorialLight",
+    "CountingPartition",
+    "DedupMerge",
+    "ExecutionState",
+    "LightHeavyPartition",
+    "MatMulHeavy",
+    "PhysicalOperator",
+    "SemijoinReduce",
+]

@@ -1,0 +1,441 @@
+"""Physical operators of the MMJoin execution pipeline.
+
+The paper's recipe — semijoin-reduce, light/heavy partition, combinatorial
+light join, matrix-multiplication heavy join, dedup-merge — used to be
+re-implemented separately by ``core/two_path.py``, ``core/star.py`` and the
+``setops`` modules.  It now exists once, as five :class:`PhysicalOperator`
+subclasses that the :class:`~repro.plan.planner.Planner` composes; each
+operator handles the three execution modes (set-semantics two-path, counting
+two-path, star) and records its wall-clock time and a detail dictionary for
+``explain()``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.optimizer import OptimizerDecision
+from repro.core.partitioning import partition_star, partition_two_path
+from repro.data.relation import Relation
+from repro.exec.state import (
+    MODE_COUNTS,
+    MODE_PAIRS,
+    MODE_STAR,
+    CountingPartition,
+    ExecutionState,
+)
+from repro.joins.baseline import combinatorial_star, combinatorial_two_path
+from repro.joins.generic_join import generic_star_join_project
+from repro.matmul.registry import BackendRegistry
+from repro.parallel.executor import ParallelExecutor, split_relation
+
+Pair = Tuple[int, int]
+HeadTuple = Tuple[int, ...]
+DecideFn = Callable[[ExecutionState], OptimizerDecision]
+
+
+class PhysicalOperator:
+    """Base physical operator: timed, skippable, self-describing."""
+
+    name = "operator"
+
+    def __init__(self) -> None:
+        self.estimated_cost: float = 0.0
+        self.actual_seconds: float = 0.0
+        self.status: str = "pending"
+        self.detail: Dict[str, Any] = {}
+
+    def __call__(self, state: ExecutionState) -> None:
+        """Run (or skip) the operator, recording status and wall-clock time."""
+        if state.done and self.name != "semijoin_reduce":
+            self.status = "skipped"
+            return
+        start = time.perf_counter()
+        self.status = "ran"
+        self.run(state)
+        self.actual_seconds = time.perf_counter() - start
+
+    def run(self, state: ExecutionState) -> None:
+        raise NotImplementedError
+
+    def skip(self, reason: str) -> None:
+        """Mark this invocation as a no-op (recorded in the explanation)."""
+        self.status = "skipped"
+        self.detail["skip_reason"] = reason
+
+
+class SemijoinReduce(PhysicalOperator):
+    """Drop dangling tuples: keep only witnesses shared by every relation."""
+
+    name = "semijoin_reduce"
+
+    def run(self, state: ExecutionState) -> None:
+        relations = state.relations
+        self.detail["input_tuples"] = sum(len(r) for r in relations)
+        if not relations or any(len(r) == 0 for r in relations):
+            state.relations = [Relation.empty(r.name) for r in relations]
+            state.finish_empty()
+            self.detail["output_tuples"] = 0
+            return
+        if state.mode == MODE_STAR:
+            shared = relations[0].y_values()
+            for rel in relations[1:]:
+                shared = np.intersect1d(shared, rel.y_values(), assume_unique=True)
+            reduced = [rel.restrict_y(shared, name=rel.name) for rel in relations]
+        else:
+            left, right = relations
+            reduced = [
+                left.semijoin_y(right, name=left.name),
+                right.semijoin_y(left, name=right.name),
+            ]
+        state.relations = reduced
+        self.detail["output_tuples"] = sum(len(r) for r in reduced)
+        if any(len(r) == 0 for r in reduced):
+            state.finish_empty()
+
+
+class LightHeavyPartition(PhysicalOperator):
+    """Consult the optimizer, then split the inputs by degree thresholds."""
+
+    name = "light_heavy_partition"
+
+    def __init__(self, decide: DecideFn) -> None:
+        super().__init__()
+        self.decide = decide
+
+    def run(self, state: ExecutionState) -> None:
+        decision = self.decide(state)
+        state.decision = decision
+        state.strategy = decision.strategy
+        self.detail["strategy"] = decision.strategy
+        if decision.strategy == "wcoj":
+            self.detail["reason"] = "optimizer chose plain worst-case optimal join"
+            return
+        delta1, delta2 = decision.delta1, decision.delta2
+        if state.mode == MODE_COUNTS:
+            state.partition = self._counting_partition(state, delta1)
+            state.delta1 = state.partition.delta1
+            state.delta2 = state.partition.delta1
+            self.detail["heavy_witnesses"] = int(state.partition.heavy_y.size)
+            self.detail["light_witnesses"] = len(state.partition.light_y)
+        elif state.mode == MODE_STAR:
+            partition = partition_star(state.relations, delta1, delta2)
+            state.partition = partition
+            state.delta1 = partition.delta1
+            state.delta2 = partition.delta2
+            # If nothing survived into the heavy residual, the light
+            # sub-joins would re-enumerate the whole query k times; one
+            # worst-case optimal evaluation is strictly cheaper.
+            if partition.heavy_y.size == 0 or any(len(rel) == 0 for rel in partition.heavy):
+                state.fallback_combinatorial = True
+                self.detail["fallback"] = "empty heavy residual; full combinatorial join"
+            self.detail["heavy_witnesses"] = int(partition.heavy_y.size)
+        else:
+            partition = partition_two_path(state.relations[0], state.relations[1], delta1, delta2)
+            state.partition = partition
+            state.delta1 = partition.delta1
+            state.delta2 = partition.delta2
+            self.detail["light_fraction"] = round(partition.light_fraction(), 4)
+            self.detail["heavy_witnesses"] = int(partition.heavy_y.size)
+
+    @staticmethod
+    def _counting_partition(state: ExecutionState, delta1: int) -> CountingPartition:
+        left, right = state.relations
+        delta1 = max(int(delta1), 1)
+        left_deg_y = left.degrees_y()
+        right_deg_y = right.degrees_y()
+        shared = set(left_deg_y) & set(right_deg_y)
+        heavy_y = np.asarray(
+            sorted(
+                y for y in shared
+                if left_deg_y[y] > delta1 and right_deg_y[y] > delta1
+            ),
+            dtype=np.int64,
+        )
+        heavy_y_set = set(int(v) for v in heavy_y)
+        light_y = [y for y in shared if int(y) not in heavy_y_set]
+        return CountingPartition(heavy_y=heavy_y, light_y=light_y, delta1=delta1)
+
+
+class CombinatorialLight(PhysicalOperator):
+    """Evaluate the light sub-joins (or the whole query under WCOJ)."""
+
+    name = "combinatorial_light"
+
+    def run(self, state: ExecutionState) -> None:
+        if state.strategy == "wcoj" or state.fallback_combinatorial:
+            self._run_full(state)
+            return
+        if state.mode == MODE_COUNTS:
+            self._run_light_counts(state)
+        elif state.mode == MODE_STAR:
+            self._run_light_star(state)
+        else:
+            self._run_light_pairs(state)
+
+    # -- full combinatorial evaluation (WCOJ strategy / star fallback) -----
+    def _run_full(self, state: ExecutionState) -> None:
+        self.detail["scope"] = "full combinatorial join"
+        if state.mode == MODE_STAR:
+            state.light_pairs = combinatorial_star(state.relations)
+        elif state.mode == MODE_COUNTS:
+            state.light_counts = combinatorial_two_path(
+                state.relations[0], state.relations[1], with_counts=True
+            )
+        else:
+            state.light_pairs = combinatorial_two_path(
+                state.relations[0],
+                state.relations[1],
+                dedup_strategy=state.config.dedup_strategy,
+            )
+
+    # -- light sub-joins ---------------------------------------------------
+    def _run_light_pairs(self, state: ExecutionState) -> None:
+        partition = state.partition
+        left, right = state.relations
+        cores = state.config.cores
+        output: Set[Pair] = set()
+        tasks: List[Tuple[Relation, Dict[int, np.ndarray], bool]] = []
+        if len(partition.r_light):
+            right_index = right.index_y()
+            for chunk in split_relation(partition.r_light, cores):
+                tasks.append((chunk, right_index, False))
+        if len(partition.s_light):
+            left_index = left.index_y()
+            for chunk in split_relation(partition.s_light, cores):
+                tasks.append((chunk, left_index, True))
+        if tasks:
+            executor = ParallelExecutor(cores=cores)
+            for chunk_pairs in executor.map(_probe_chunk, tasks):
+                output |= chunk_pairs
+        state.light_pairs = output
+        self.detail["light_pairs"] = len(output)
+
+    def _run_light_counts(self, state: ExecutionState) -> None:
+        partition = state.partition
+        left, right = state.relations
+        counts: Dict[Pair, int] = {}
+        left_index = left.index_y()
+        right_index = right.index_y()
+        for y in partition.light_y:
+            xs = left_index[int(y)]
+            zs = right_index[int(y)]
+            for x in xs:
+                xi = int(x)
+                for z in zs:
+                    key = (xi, int(z))
+                    counts[key] = counts.get(key, 0) + 1
+        state.light_counts = counts
+        self.detail["light_pairs"] = len(counts)
+
+    def _run_light_star(self, state: ExecutionState) -> None:
+        partition = state.partition
+        relations = state.relations
+        output: Set[HeadTuple] = set()
+        for i, light_rel in enumerate(partition.light_head):
+            if len(light_rel) == 0:
+                continue
+            sub = list(relations)
+            sub[i] = light_rel
+            output |= generic_star_join_project(sub)
+        if partition.light_y.size:
+            output |= generic_star_join_project(relations, restrict_to=partition.light_y)
+        state.light_pairs = output
+        self.detail["light_tuples"] = len(output)
+
+
+class MatMulHeavy(PhysicalOperator):
+    """Evaluate the all-heavy residual with one matrix product."""
+
+    name = "matmul_heavy"
+
+    def __init__(self, registry: BackendRegistry) -> None:
+        super().__init__()
+        self.registry = registry
+
+    def run(self, state: ExecutionState) -> None:
+        if state.strategy == "wcoj":
+            self.skip("wcoj strategy has no heavy residual")
+            return
+        if state.fallback_combinatorial:
+            self.skip("heavy residual empty; light operator ran the full join")
+            return
+        if state.mode == MODE_COUNTS:
+            self._run_counts(state)
+        elif state.mode == MODE_STAR:
+            self._run_star(state)
+        else:
+            self._run_pairs(state)
+        self.detail["backend"] = state.backend_name
+        self.detail["matrix_dims"] = state.matrix_dims
+
+    def _select(self, state: ExecutionState, dims: Tuple[int, int, int],
+                nnz_left: int, nnz_right: int):
+        backend = self.registry.select(state.config, dims, nnz_left, nnz_right)
+        state.backend_name = backend.name
+        return backend
+
+    def _run_pairs(self, state: ExecutionState) -> None:
+        partition = state.partition
+        rows, mids, cols = partition.heavy_x, partition.heavy_y, partition.heavy_z
+        dims = (int(rows.size), int(mids.size), int(cols.size))
+        state.matrix_dims = dims
+        if min(dims) == 0:
+            self.detail["build_seconds"] = 0.0
+            self.detail["multiply_seconds"] = 0.0
+            return
+        backend = self._select(
+            state, dims, len(partition.r_heavy), len(partition.s_heavy)
+        )
+        pairs, build_seconds, multiply_seconds = backend.heavy_pairs(
+            partition.r_heavy, partition.s_heavy, rows, mids, cols,
+            cores=state.config.cores,
+        )
+        state.heavy_pairs = pairs
+        self.detail["build_seconds"] = build_seconds
+        self.detail["multiply_seconds"] = multiply_seconds
+        self.detail["heavy_pairs"] = len(pairs)
+
+    def _run_counts(self, state: ExecutionState) -> None:
+        partition = state.partition
+        heavy_y = partition.heavy_y
+        if heavy_y.size == 0:
+            state.matrix_dims = (0, 0, 0)
+            self.detail["build_seconds"] = 0.0
+            self.detail["multiply_seconds"] = 0.0
+            return
+        left, right = state.relations
+        left_heavy = left.restrict_y(heavy_y, name=f"{left.name}+")
+        right_heavy = right.restrict_y(heavy_y, name=f"{right.name}+")
+        rows = left_heavy.x_values()
+        cols = right_heavy.x_values()
+        dims = (int(rows.size), int(heavy_y.size), int(cols.size))
+        state.matrix_dims = dims
+        backend = self._select(state, dims, len(left_heavy), len(right_heavy))
+        counts, build_seconds, multiply_seconds = backend.heavy_counts(
+            left_heavy, right_heavy, rows, heavy_y, cols,
+            cores=state.config.cores,
+        )
+        state.heavy_counts = counts
+        self.detail["build_seconds"] = build_seconds
+        self.detail["multiply_seconds"] = multiply_seconds
+        self.detail["heavy_pairs"] = len(counts)
+
+    def _run_star(self, state: ExecutionState) -> None:
+        partition = state.partition
+        heavy_relations = partition.heavy
+        heavy_y = partition.heavy_y
+        k = len(heavy_relations)
+        split = (k + 1) // 2
+        build_start = time.perf_counter()
+        rows_a, matrix_a = _group_matrix(heavy_relations, list(range(split)), heavy_y)
+        rows_b, matrix_b = _group_matrix(heavy_relations, list(range(split, k)), heavy_y)
+        build_seconds = time.perf_counter() - build_start
+        dims = (len(rows_a), int(heavy_y.size), len(rows_b))
+        state.matrix_dims = dims
+        self.detail["build_seconds"] = build_seconds
+        if not rows_a or not rows_b:
+            self.detail["multiply_seconds"] = 0.0
+            return
+        nnz_a = int(matrix_a.sum())
+        nnz_b = int(matrix_b.sum())
+        backend = self._select(state, dims, nnz_a, nnz_b)
+        multiply_start = time.perf_counter()
+        product = backend.multiply_dense(matrix_a, matrix_b.T, cores=state.config.cores)
+        hit_rows, hit_cols = np.nonzero(np.asarray(product) > 0.5)
+        output: Set[HeadTuple] = set()
+        for r, c in zip(hit_rows, hit_cols):
+            output.add(rows_a[int(r)] + rows_b[int(c)])
+        state.heavy_pairs = output
+        self.detail["multiply_seconds"] = time.perf_counter() - multiply_start
+        self.detail["heavy_tuples"] = len(output)
+
+
+class DedupMerge(PhysicalOperator):
+    """Merge the light and heavy outputs, deduplicating across the two."""
+
+    name = "dedup_merge"
+
+    def run(self, state: ExecutionState) -> None:
+        if state.mode == MODE_COUNTS:
+            counts = dict(state.light_counts)
+            for key, value in state.heavy_counts.items():
+                counts[key] = counts.get(key, 0) + value
+            state.counts = counts
+            state.pairs = set(counts)
+        else:
+            state.pairs = state.light_pairs | state.heavy_pairs
+            overlap = len(state.light_pairs) + len(state.heavy_pairs) - len(state.pairs)
+            self.detail["overlap"] = overlap
+        self.detail["output_size"] = len(state.pairs)
+
+
+# --------------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------------- #
+def _probe_chunk(args: Tuple[Relation, Dict[int, np.ndarray], bool]) -> Set[Pair]:
+    """Worker task: probe one relation chunk against a prebuilt index."""
+    relation, other_index, flip = args
+    local: Set[Pair] = set()
+    for x, y in zip(relation.xs, relation.ys):
+        partners = other_index.get(int(y))
+        if partners is None:
+            continue
+        xi = int(x)
+        for z in partners:
+            local.add((int(z), xi) if flip else (xi, int(z)))
+    return local
+
+
+def _group_matrix(
+    heavy_relations: Sequence[Relation],
+    group: Sequence[int],
+    heavy_y: np.ndarray,
+) -> Tuple[List[HeadTuple], np.ndarray]:
+    """Build the grouped adjacency matrix for one half of the star head.
+
+    Candidate head combinations are discovered per heavy witness (so only
+    combinations that actually co-occur appear as rows), then each row is
+    marked against every heavy witness it is fully connected to.
+    """
+    indexes = [heavy_relations[i].index_y() for i in group]
+
+    combo_blocks: List[np.ndarray] = []
+    column_blocks: List[np.ndarray] = []
+    for j, y in enumerate(heavy_y):
+        yi = int(y)
+        neighbour_lists = []
+        missing = False
+        for idx in indexes:
+            values = idx.get(yi)
+            if values is None or values.size == 0:
+                missing = True
+                break
+            neighbour_lists.append(values)
+        if missing:
+            continue
+        combos = _cartesian_arrays(neighbour_lists)
+        combo_blocks.append(combos)
+        column_blocks.append(np.full(combos.shape[0], j, dtype=np.int64))
+
+    if not combo_blocks:
+        return [], np.zeros((0, heavy_y.size), dtype=np.float32)
+
+    all_combos = np.concatenate(combo_blocks, axis=0)
+    all_columns = np.concatenate(column_blocks)
+    unique_rows, inverse = np.unique(all_combos, axis=0, return_inverse=True)
+    matrix = np.zeros((unique_rows.shape[0], heavy_y.size), dtype=np.float32)
+    matrix[inverse, all_columns] = 1.0
+    rows = [tuple(int(v) for v in row) for row in unique_rows]
+    return rows, matrix
+
+
+def _cartesian_arrays(lists: List[np.ndarray]) -> np.ndarray:
+    """Cartesian product of 1-D integer arrays as an (n, k) array."""
+    if len(lists) == 1:
+        return lists[0].reshape(-1, 1)
+    grids = np.meshgrid(*lists, indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1)

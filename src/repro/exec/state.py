@@ -1,0 +1,85 @@
+"""Shared mutable state threaded through the physical operators.
+
+A :class:`~repro.plan.planner.PhysicalPlan` owns one :class:`ExecutionState`
+per execution; each operator reads the fields earlier operators populated and
+writes its own.  The state also carries the per-phase timings dictionary the
+legacy result objects (:class:`~repro.core.two_path.MMJoinResult`,
+:class:`~repro.core.star.StarJoinResult`) expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
+from repro.core.optimizer import OptimizerDecision
+from repro.data.relation import Relation
+
+HeadTuple = Tuple[int, ...]
+
+# Execution modes: which variant of the pipeline the operators run.
+MODE_PAIRS = "pairs"      # set-semantics two-path (Algorithm 1)
+MODE_COUNTS = "counts"    # witness-counting two-path (SSJ/SCJ substrate)
+MODE_STAR = "star"        # k-ary star query (Section 3.2)
+
+
+@dataclass
+class CountingPartition:
+    """Witness-only partition used by the counting two-path pipeline.
+
+    A witness ``y`` is heavy when its degree exceeds ``delta1`` in *both*
+    relations; the two witness populations are disjoint so light and heavy
+    counts add up exactly.
+    """
+
+    heavy_y: np.ndarray
+    light_y: List[int]
+    delta1: int
+
+
+@dataclass
+class ExecutionState:
+    """Everything the operators of one plan execution share."""
+
+    config: MMJoinConfig = DEFAULT_CONFIG
+    mode: str = MODE_PAIRS
+    relations: List[Relation] = field(default_factory=list)
+
+    # Populated by LightHeavyPartition.
+    decision: Optional[OptimizerDecision] = None
+    strategy: str = "mmjoin"
+    partition: Any = None
+    fallback_combinatorial: bool = False
+    delta1: int = 0
+    delta2: int = 0
+
+    # Populated by CombinatorialLight / MatMulHeavy.
+    light_pairs: Set[HeadTuple] = field(default_factory=set)
+    light_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    heavy_pairs: Set[HeadTuple] = field(default_factory=set)
+    heavy_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    matrix_dims: Tuple[int, int, int] = (0, 0, 0)
+    backend_name: str = "dense"
+
+    # Populated by DedupMerge (or by SemijoinReduce on empty inputs).
+    pairs: Set[HeadTuple] = field(default_factory=set)
+    counts: Optional[Dict[Tuple[int, int], int]] = None
+
+    # Control flow and bookkeeping.
+    done: bool = False
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def finish_empty(self) -> None:
+        """Short-circuit the pipeline with an empty result (dangling inputs)."""
+        self.done = True
+        self.strategy = "wcoj"
+        self.pairs = set()
+        if self.mode == MODE_COUNTS:
+            self.counts = {}
+
+    @property
+    def with_counts(self) -> bool:
+        return self.mode == MODE_COUNTS

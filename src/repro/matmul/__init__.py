@@ -1,6 +1,8 @@
 """Matrix multiplication substrate: kernels and a calibrated cost model."""
 
 from repro.matmul.dense import (
+    FLOAT32_EXACT_LIMIT,
+    accumulation_dtype,
     boolean_matmul,
     count_matmul,
     build_adjacency,
@@ -10,8 +12,16 @@ from repro.matmul.sparse import sparse_count_matmul, sparse_boolean_matmul, buil
 from repro.matmul.blocked import blocked_matmul, rectangular_cost
 from repro.matmul.strassen import strassen_matmul
 from repro.matmul.cost_model import MatMulCostModel, theoretical_cost
+from repro.matmul.registry import (
+    BackendRegistry,
+    MatMulBackend,
+    default_registry,
+    make_default_registry,
+)
 
 __all__ = [
+    "FLOAT32_EXACT_LIMIT",
+    "accumulation_dtype",
     "boolean_matmul",
     "count_matmul",
     "build_adjacency",
@@ -24,4 +34,8 @@ __all__ = [
     "strassen_matmul",
     "MatMulCostModel",
     "theoretical_cost",
+    "BackendRegistry",
+    "MatMulBackend",
+    "default_registry",
+    "make_default_registry",
 ]

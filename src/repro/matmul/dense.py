@@ -18,22 +18,42 @@ from repro.data.relation import Relation
 
 Pair = Tuple[int, int]
 
+# A float32 mantissa holds 24 bits, so consecutive integers are exact only up
+# to 2^24; a witness count can be as large as the inner dimension of the
+# product, so beyond this limit the accumulation must widen to float64.
+FLOAT32_EXACT_LIMIT = 2**24
 
-def count_matmul(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+
+def accumulation_dtype(inner_dim: int, exact_limit: int = FLOAT32_EXACT_LIMIT) -> np.dtype:
+    """Narrowest float dtype whose integer range covers counts up to ``inner_dim``."""
+    return np.float64 if int(inner_dim) > int(exact_limit) else np.float32
+
+
+def count_matmul(
+    left: np.ndarray,
+    right: np.ndarray,
+    *,
+    exact_limit: int = FLOAT32_EXACT_LIMIT,
+) -> np.ndarray:
     """Witness-count product: standard (real) matrix multiplication.
 
     Inputs are 0/1 adjacency matrices; the output entry is the number of
     shared y witnesses.  ``float32`` is used deliberately (the paper's SGEMM
-    choice) — counts are exact up to 2^24, far above any realistic degree.
+    choice) — but a count is bounded only by the inner dimension, so when the
+    inner dimension exceeds ``exact_limit`` (2^24, the float32 exact-integer
+    range) the product accumulates in ``float64`` to keep counts exact.
     """
-    a = np.ascontiguousarray(left, dtype=np.float32)
-    b = np.ascontiguousarray(right, dtype=np.float32)
+    a = np.asarray(left)
+    b = np.asarray(right)
     if a.ndim != 2 or b.ndim != 2:
         raise ValueError("count_matmul expects 2-D matrices")
     if a.shape[1] != b.shape[0]:
         raise ValueError(
             f"inner dimensions do not match: {a.shape} x {b.shape}"
         )
+    dtype = accumulation_dtype(a.shape[1], exact_limit)
+    a = np.ascontiguousarray(a, dtype=dtype)
+    b = np.ascontiguousarray(b, dtype=dtype)
     return a @ b
 
 

@@ -1,0 +1,344 @@
+"""Pluggable matrix-multiplication backend registry.
+
+The MMJoin pipeline used to hardcode ``if backend == "sparse": ... else ...``
+branches at every call site.  This module replaces those branches with a
+uniform :class:`MatMulBackend` interface wrapping each kernel family
+(dense/BLAS, sparse/CSR, blocked, Strassen) and a :class:`BackendRegistry`
+that resolves a configured backend name — or, for ``"auto"``, picks the
+cheapest *auto-eligible* backend by comparing per-backend cost estimates
+derived from :class:`~repro.matmul.cost_model.MatMulCostModel`.
+
+Every backend answers the two questions the physical operators ask:
+
+* ``heavy_pairs`` / ``heavy_counts`` — evaluate the heavy residual of the
+  two-path query (build adjacency matrices restricted to the heavy values,
+  multiply, read the output pairs off the non-zero entries);
+* ``multiply_dense`` — multiply two already-built dense operands (used by the
+  star query's grouped matrices and by anything else that owns its layout).
+
+New backends register with :meth:`BackendRegistry.register`; the planner and
+the config validation both consult :func:`default_registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import MMJoinConfig
+from repro.data.relation import Relation
+from repro.matmul import dense as dense_mm
+from repro.matmul import sparse as sparse_mm
+from repro.matmul.blocked import blocked_matmul
+from repro.matmul.cost_model import MatMulCostModel
+from repro.matmul.strassen import strassen_matmul
+
+Pair = Tuple[int, int]
+Dims = Tuple[int, int, int]
+
+
+class MatMulBackend(abc.ABC):
+    """One matrix-multiplication kernel family usable by the heavy operator.
+
+    ``auto_eligible`` marks backends the registry may pick on its own when
+    the configuration says ``"auto"``; specialised kernels (blocked,
+    Strassen) must be requested explicitly because their Python-level
+    recursion is never the fastest practical choice.
+    """
+
+    name: str = "abstract"
+    auto_eligible: bool = True
+
+    @abc.abstractmethod
+    def multiply_dense(self, left: np.ndarray, right: np.ndarray, cores: int = 1) -> np.ndarray:
+        """Multiply two dense operands, returning a dense count matrix."""
+
+    @abc.abstractmethod
+    def estimate_cost(
+        self,
+        dims: Dims,
+        nnz_left: int,
+        nnz_right: int,
+        cost_model: MatMulCostModel,
+        config: MMJoinConfig,
+    ) -> float:
+        """Estimated seconds for the heavy product (``inf`` = ineligible)."""
+
+    # -- heavy-residual template hooks (overridden by layout-specific
+    # backends such as sparse/CSR) --------------------------------------
+    def build_operands(
+        self,
+        left_heavy: Relation,
+        right_heavy: Relation,
+        rows: Sequence[int],
+        mids: Sequence[int],
+        cols: Sequence[int],
+    ):
+        """Build the two operand matrices in this backend's native layout."""
+        m1 = dense_mm.build_adjacency(left_heavy, rows, mids)
+        m2 = dense_mm.build_adjacency(right_heavy, cols, mids).T
+        return m1, m2
+
+    def multiply(self, m1, m2, cores: int = 1):
+        """Multiply operands produced by :meth:`build_operands`."""
+        return self.multiply_dense(m1, m2, cores=cores)
+
+    def extract_pairs(self, product, rows, cols, threshold: float) -> Set[Pair]:
+        """Output pairs from a product in this backend's native layout."""
+        return set(dense_mm.nonzero_pairs(product, rows, cols, threshold=threshold))
+
+    def extract_counts(self, product, rows, cols, threshold: float) -> Dict[Pair, int]:
+        """Witness counts from a product in this backend's native layout."""
+        return dense_mm.nonzero_pairs_with_counts(product, rows, cols, threshold=threshold)
+
+    # -- heavy-residual evaluation (shared timed template) ----------------
+    def heavy_pairs(
+        self,
+        left_heavy: Relation,
+        right_heavy: Relation,
+        rows: Sequence[int],
+        mids: Sequence[int],
+        cols: Sequence[int],
+        threshold: float = 0.5,
+        cores: int = 1,
+    ) -> Tuple[Set[Pair], float, float]:
+        """Output pairs of the heavy residual plus (build, multiply) seconds."""
+        return self._heavy(left_heavy, right_heavy, rows, mids, cols, threshold,
+                           cores, self.extract_pairs)
+
+    def heavy_counts(
+        self,
+        left_heavy: Relation,
+        right_heavy: Relation,
+        rows: Sequence[int],
+        mids: Sequence[int],
+        cols: Sequence[int],
+        threshold: float = 0.5,
+        cores: int = 1,
+    ) -> Tuple[Dict[Pair, int], float, float]:
+        """Witness counts of the heavy residual plus (build, multiply) seconds."""
+        return self._heavy(left_heavy, right_heavy, rows, mids, cols, threshold,
+                           cores, self.extract_counts)
+
+    def _heavy(self, left_heavy, right_heavy, rows, mids, cols, threshold, cores, extract):
+        build_start = time.perf_counter()
+        m1, m2 = self.build_operands(left_heavy, right_heavy, rows, mids, cols)
+        build_seconds = time.perf_counter() - build_start
+        multiply_start = time.perf_counter()
+        product = self.multiply(m1, m2, cores=cores)
+        result = extract(product, rows, cols, threshold)
+        return result, build_seconds, time.perf_counter() - multiply_start
+
+
+class DenseBackend(MatMulBackend):
+    """numpy/BLAS SGEMM — the paper's primary kernel."""
+
+    name = "dense"
+
+    def multiply_dense(self, left: np.ndarray, right: np.ndarray, cores: int = 1) -> np.ndarray:
+        if cores > 1:
+            from repro.parallel.executor import parallel_matmul
+
+            return parallel_matmul(left, right, cores=cores)
+        return dense_mm.count_matmul(left, right)
+
+    def estimate_cost(
+        self,
+        dims: Dims,
+        nnz_left: int,
+        nnz_right: int,
+        cost_model: MatMulCostModel,
+        config: MMJoinConfig,
+    ) -> float:
+        u, v, w = dims
+        if max(dims) > config.max_heavy_dimension:
+            return float("inf")
+        return cost_model.estimate(u, v, w, cores=config.cores) + cost_model.estimate_construction(
+            u, v, w, cores=config.cores
+        )
+
+
+class SparseBackend(MatMulBackend):
+    """scipy CSR x CSR — wins when the heavy sub-matrices are very sparse."""
+
+    name = "sparse"
+    # Per-nonzero Python/scipy overheads; an order of magnitude above the
+    # dense per-cell constants because construction walks Python dicts.
+    build_seconds_per_nnz = 2.5e-7
+    seconds_per_expansion = 2.5e-8
+
+    def multiply_dense(self, left: np.ndarray, right: np.ndarray, cores: int = 1) -> np.ndarray:
+        from scipy import sparse
+
+        product = sparse_mm.sparse_count_matmul(
+            sparse.csr_matrix(np.asarray(left, dtype=np.float32)),
+            sparse.csr_matrix(np.asarray(right, dtype=np.float32)),
+        )
+        return np.asarray(product.todense())
+
+    def build_operands(self, left_heavy, right_heavy, rows, mids, cols):
+        m1 = sparse_mm.build_sparse_adjacency(left_heavy, rows, mids)
+        m2 = sparse_mm.build_sparse_adjacency(right_heavy, cols, mids).T
+        return m1, m2
+
+    def multiply(self, m1, m2, cores: int = 1):
+        return sparse_mm.sparse_count_matmul(m1, m2)
+
+    def extract_pairs(self, product, rows, cols, threshold: float) -> Set[Pair]:
+        return set(sparse_mm.sparse_nonzero_pairs(product, rows, cols, threshold=threshold))
+
+    def extract_counts(self, product, rows, cols, threshold: float) -> Dict[Pair, int]:
+        return sparse_mm.sparse_nonzero_pairs_with_counts(
+            product, rows, cols, threshold=threshold
+        )
+
+    def estimate_cost(
+        self,
+        dims: Dims,
+        nnz_left: int,
+        nnz_right: int,
+        cost_model: MatMulCostModel,
+        config: MMJoinConfig,
+    ) -> float:
+        _, v, _ = dims
+        build = (nnz_left + nnz_right) * self.build_seconds_per_nnz
+        expansions = float(nnz_left) * float(nnz_right) / max(float(v), 1.0)
+        multiply = expansions * self.seconds_per_expansion
+        return (build + multiply) / cost_model.speedup(config.cores)
+
+
+class BlockedBackend(MatMulBackend):
+    """Lemma 1 block decomposition; explicit-request only."""
+
+    name = "blocked"
+    auto_eligible = False
+    python_overhead = 8.0
+
+    def multiply_dense(self, left: np.ndarray, right: np.ndarray, cores: int = 1) -> np.ndarray:
+        return blocked_matmul(left, right)
+
+    def estimate_cost(
+        self,
+        dims: Dims,
+        nnz_left: int,
+        nnz_right: int,
+        cost_model: MatMulCostModel,
+        config: MMJoinConfig,
+    ) -> float:
+        u, v, w = dims
+        if max(dims) > config.max_heavy_dimension:
+            return float("inf")
+        return self.python_overhead * cost_model.estimate(u, v, w, cores=config.cores)
+
+
+class StrassenBackend(MatMulBackend):
+    """Strassen recursion (omega = log2 7); explicit-request only."""
+
+    name = "strassen"
+    auto_eligible = False
+    python_overhead = 16.0
+
+    def multiply_dense(self, left: np.ndarray, right: np.ndarray, cores: int = 1) -> np.ndarray:
+        return strassen_matmul(left, right)
+
+    def estimate_cost(
+        self,
+        dims: Dims,
+        nnz_left: int,
+        nnz_right: int,
+        cost_model: MatMulCostModel,
+        config: MMJoinConfig,
+    ) -> float:
+        u, v, w = dims
+        if max(dims) > config.max_heavy_dimension:
+            return float("inf")
+        return self.python_overhead * cost_model.estimate(u, v, w, cores=config.cores)
+
+
+class BackendRegistry:
+    """Name -> :class:`MatMulBackend` mapping with cost-based auto selection."""
+
+    def __init__(self, cost_model: MatMulCostModel | None = None) -> None:
+        self._backends: Dict[str, MatMulBackend] = {}
+        self.cost_model = cost_model or MatMulCostModel()
+
+    # -- registration ------------------------------------------------------
+    def register(self, backend: MatMulBackend, replace: bool = False) -> None:
+        """Add a backend; refuses to shadow an existing name unless asked."""
+        if backend.name in self._backends and not replace:
+            raise ValueError(f"backend {backend.name!r} is already registered")
+        self._backends[backend.name] = backend
+
+    def get(self, name: str) -> MatMulBackend:
+        """Look a backend up by name."""
+        try:
+            return self._backends[name]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown matmul backend {name!r}; choose one of {self.names()}"
+            ) from exc
+
+    def names(self) -> List[str]:
+        """Registered backend names, sorted."""
+        return sorted(self._backends)
+
+    def __iter__(self) -> Iterator[MatMulBackend]:
+        return iter(self._backends.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._backends
+
+    # -- selection ---------------------------------------------------------
+    def select(
+        self,
+        config: MMJoinConfig,
+        dims: Dims,
+        nnz_left: int,
+        nnz_right: int,
+    ) -> MatMulBackend:
+        """Resolve the configured backend, scoring candidates for ``auto``.
+
+        An explicit ``config.matrix_backend`` name wins outright.  For
+        ``auto``, every auto-eligible backend estimates the wall-clock cost
+        of this particular product and the cheapest finite estimate wins;
+        backends return ``inf`` to rule themselves out (e.g. dense matrices
+        exceeding ``max_heavy_dimension``).
+        """
+        if config.matrix_backend != "auto":
+            return self.get(config.matrix_backend)
+        best: MatMulBackend | None = None
+        best_cost = float("inf")
+        for backend in self._backends.values():
+            if not backend.auto_eligible:
+                continue
+            cost = backend.estimate_cost(dims, nnz_left, nnz_right, self.cost_model, config)
+            if cost < best_cost:
+                best, best_cost = backend, cost
+        if best is None:
+            # Everything ruled itself out; sparse is the memory-safe fallback.
+            return self.get("sparse") if "sparse" in self else next(iter(self))
+        return best
+
+
+def make_default_registry(cost_model: MatMulCostModel | None = None) -> BackendRegistry:
+    """A fresh registry holding the four built-in kernel families."""
+    registry = BackendRegistry(cost_model=cost_model)
+    registry.register(DenseBackend())
+    registry.register(SparseBackend())
+    registry.register(BlockedBackend())
+    registry.register(StrassenBackend())
+    return registry
+
+
+_DEFAULT_REGISTRY: BackendRegistry | None = None
+
+
+def default_registry() -> BackendRegistry:
+    """The process-wide registry the planner uses unless given another."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = make_default_registry()
+    return _DEFAULT_REGISTRY

@@ -12,21 +12,25 @@ Because numpy's BLAS kernels release the GIL, a thread pool achieves real
 parallel speedups for the matrix part; the light probing is pure Python so
 its thread-level speedup is limited, which is faithful to the paper's
 observation that the matrix part is the more scalable one.
+
+:func:`parallel_two_path` is a thin wrapper over the shared planner
+pipeline: with ``cores > 1`` the ``combinatorial_light`` operator probes in
+per-core chunks and the dense backend row-partitions the heavy product via
+:func:`parallel_matmul`.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Set, Tuple, TypeVar
 
 import numpy as np
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
-from repro.core.partitioning import partition_two_path
 from repro.data.relation import Relation
-from repro.matmul import dense as dense_mm
+from repro.matmul.dense import accumulation_dtype
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -76,15 +80,20 @@ def parallel_matmul(
     multiplied against the full right operand in its own thread.  BLAS
     releases the GIL so the blocks genuinely run concurrently.
     """
-    a = np.ascontiguousarray(left, dtype=np.float32)
-    b = np.ascontiguousarray(right, dtype=np.float32)
+    # Same overflow guard as count_matmul: counts are bounded by the inner
+    # dimension, so past float32's exact-integer range widen to float64.
+    a = np.asarray(left)
+    b = np.asarray(right)
+    dtype = accumulation_dtype(a.shape[1] if a.ndim == 2 else 0)
+    a = np.ascontiguousarray(a, dtype=dtype)
+    b = np.ascontiguousarray(b, dtype=dtype)
     if a.shape[1] != b.shape[0]:
         raise ValueError(f"inner dimensions do not match: {a.shape} x {b.shape}")
     executor = ParallelExecutor(cores=cores)
     ranges = executor.chunk_ranges(a.shape[0])
     if len(ranges) <= 1:
         return a @ b
-    out = np.empty((a.shape[0], b.shape[1]), dtype=np.float32)
+    out = np.empty((a.shape[0], b.shape[1]), dtype=dtype)
 
     def multiply_block(block: Tuple[int, int]) -> Tuple[int, int]:
         lo, hi = block
@@ -116,62 +125,33 @@ def parallel_two_path(
 ) -> ParallelJoinResult:
     """Evaluate the 2-path MMJoin with explicit thresholds across ``cores`` workers.
 
-    Used by the multi-core benchmarks (Figures 4d-4g): the light probing is
-    partitioned by x value and the heavy matrix product by row block.
+    Used by the multi-core benchmarks (Figures 4d-4g).  The evaluation goes
+    through the shared planner pipeline; the explicit thresholds pin the
+    strategy to mmjoin and ``cores`` drives both the chunked light probing
+    and the row-partitioned heavy product.
     """
+    # Imported lazily: the planner pipeline's operators use this module's
+    # chunking helpers, so a module-level import would be circular.
+    from repro.plan.planner import Planner
+    from repro.plan.query import TwoPathQuery
+
     start = time.perf_counter()
-    executor = ParallelExecutor(cores=cores)
-    partition = partition_two_path(left, right, delta1, delta2)
-
-    # Light phase: partition the probing side by x value.
-    light_start = time.perf_counter()
-    right_index = right.index_y()
-    left_index = left.index_y()
-
-    def probe_chunk(args: Tuple[Relation, Dict[int, np.ndarray], bool]) -> Set[Pair]:
-        relation, other_index, flip = args
-        local: Set[Pair] = set()
-        for x, y in zip(relation.xs, relation.ys):
-            partners = other_index.get(int(y))
-            if partners is None:
-                continue
-            xi = int(x)
-            for z in partners:
-                local.add((int(z), xi) if flip else (xi, int(z)))
-        return local
-
-    tasks: List[Tuple[Relation, Dict[int, np.ndarray], bool]] = []
-    for chunk in _split_relation(partition.r_light, executor.cores):
-        tasks.append((chunk, right_index, False))
-    for chunk in _split_relation(partition.s_light, executor.cores):
-        tasks.append((chunk, left_index, True))
-    light_sets = executor.map(probe_chunk, tasks) if tasks else []
-    light_output: Set[Pair] = set()
-    for s in light_sets:
-        light_output |= s
-    light_seconds = time.perf_counter() - light_start
-
-    # Heavy phase: row-partitioned matrix product.
-    matrix_start = time.perf_counter()
-    heavy_output: Set[Pair] = set()
-    rows, mids, cols = partition.heavy_x, partition.heavy_y, partition.heavy_z
-    if rows.size and mids.size and cols.size:
-        m1 = dense_mm.build_adjacency(partition.r_heavy, rows, mids)
-        m2 = dense_mm.build_adjacency(partition.s_heavy, cols, mids).T
-        product = parallel_matmul(m1, m2, cores=cores)
-        heavy_output = set(dense_mm.nonzero_pairs(product, rows, cols))
-    matrix_seconds = time.perf_counter() - matrix_start
-
+    run_config = config.with_thresholds(delta1, delta2).with_cores(cores)
+    planner = Planner(config=run_config)
+    plan = planner.execute(TwoPathQuery(left=left, right=right))
+    state = plan.state
+    assert state is not None
     return ParallelJoinResult(
-        pairs=light_output | heavy_output,
+        pairs=state.pairs,
         seconds=time.perf_counter() - start,
-        cores=executor.cores,
-        light_seconds=light_seconds,
-        matrix_seconds=matrix_seconds,
+        cores=max(int(cores), 1),
+        light_seconds=state.timings.get("light", 0.0),
+        matrix_seconds=state.timings.get("matrix_build", 0.0)
+        + state.timings.get("matrix_multiply", 0.0),
     )
 
 
-def _split_relation(relation: Relation, parts: int) -> List[Relation]:
+def split_relation(relation: Relation, parts: int) -> List[Relation]:
     """Split a relation into row chunks (one per worker)."""
     if len(relation) == 0:
         return []
@@ -185,3 +165,7 @@ def _split_relation(relation: Relation, parts: int) -> List[Relation]:
             Relation(np.array(data[lo : lo + chunk_size]), name=relation.name, sorted_dedup=True)
         )
     return chunks
+
+
+# Backwards-compatible alias (pre-registry name).
+_split_relation = split_relation

@@ -1,0 +1,23 @@
+"""Logical query plans: query descriptions, the planner, and explain()."""
+
+from repro.plan.explain import OperatorReport, PlanExplanation
+from repro.plan.planner import PhysicalPlan, Planner
+from repro.plan.query import (
+    ContainmentJoinQuery,
+    JoinProjectQuery,
+    SimilarityJoinQuery,
+    StarQuery,
+    TwoPathQuery,
+)
+
+__all__ = [
+    "ContainmentJoinQuery",
+    "JoinProjectQuery",
+    "OperatorReport",
+    "PhysicalPlan",
+    "PlanExplanation",
+    "Planner",
+    "SimilarityJoinQuery",
+    "StarQuery",
+    "TwoPathQuery",
+]

@@ -1,0 +1,208 @@
+"""Planner: lower a logical query onto the shared physical pipeline.
+
+The :class:`Planner` is the single place that decides *how* a join-project
+query runs.  It composes the five physical operators —
+``semijoin_reduce -> light_heavy_partition -> combinatorial_light ->
+matmul_heavy -> dedup_merge`` — into a :class:`PhysicalPlan`, wiring in
+
+* the existing :class:`~repro.core.optimizer.CostBasedOptimizer` (strategy
+  and degree-threshold choice, honouring explicit config thresholds and
+  ``use_optimizer=False``), and
+* the :class:`~repro.matmul.registry.BackendRegistry` (which matmul kernel
+  evaluates the heavy residual).
+
+``core/two_path.py``, ``core/star.py``, the engines, the parallel executor
+and the setops wrappers all route through here; none of them orchestrates
+partitioning or the light/heavy phases on its own any more.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
+from repro.core.optimizer import CostBasedOptimizer, OptimizerDecision
+from repro.exec.operators import (
+    CombinatorialLight,
+    DedupMerge,
+    LightHeavyPartition,
+    MatMulHeavy,
+    PhysicalOperator,
+    SemijoinReduce,
+)
+from repro.exec.state import MODE_COUNTS, MODE_PAIRS, MODE_STAR, ExecutionState
+from repro.matmul.registry import BackendRegistry, default_registry
+from repro.plan.explain import OperatorReport, PlanExplanation
+from repro.plan.query import (
+    ContainmentJoinQuery,
+    JoinProjectQuery,
+    SimilarityJoinQuery,
+    StarQuery,
+    TwoPathQuery,
+)
+
+
+class PhysicalPlan:
+    """An ordered operator pipeline bound to one logical query."""
+
+    def __init__(
+        self,
+        query: JoinProjectQuery,
+        config: MMJoinConfig,
+        operators: List[PhysicalOperator],
+        mode: str,
+    ) -> None:
+        self.query = query
+        self.config = config
+        self.operators = operators
+        self.mode = mode
+        self.state: Optional[ExecutionState] = None
+
+    @property
+    def executed(self) -> bool:
+        return self.state is not None
+
+    def execute(self) -> ExecutionState:
+        """Run every operator in order over a fresh execution state."""
+        start = time.perf_counter()
+        state = ExecutionState(
+            config=self.config,
+            mode=self.mode,
+            relations=list(self.query.join_relations()),
+        )
+        for operator in self.operators:
+            operator(state)
+            if operator.status == "ran":
+                state.timings[operator.name] = operator.actual_seconds
+        state.timings["total"] = time.perf_counter() - start
+        self._backfill_timings(state)
+        self.state = state
+        return state
+
+    def _backfill_timings(self, state: ExecutionState) -> None:
+        """Populate the legacy phase-timing keys the result objects expose."""
+        by_name = {op.name: op for op in self.operators}
+        partition = by_name.get("light_heavy_partition")
+        if partition is not None and partition.status == "ran" and state.strategy != "wcoj":
+            state.timings["partition"] = partition.actual_seconds
+        light = by_name.get("combinatorial_light")
+        if light is not None and light.status == "ran":
+            state.timings["light"] = light.actual_seconds
+        heavy = by_name.get("matmul_heavy")
+        if heavy is not None and heavy.status == "ran":
+            state.timings["matrix_build"] = float(heavy.detail.get("build_seconds", 0.0))
+            state.timings["matrix_multiply"] = float(heavy.detail.get("multiply_seconds", 0.0))
+
+    def explain(self) -> PlanExplanation:
+        """Per-operator estimated vs. actual cost and timings."""
+        state = self.state
+        decision = state.decision if state is not None else None
+        reports: List[OperatorReport] = []
+        for operator in self.operators:
+            estimated = operator.estimated_cost
+            backend = None
+            if decision is not None:
+                if operator.name == "combinatorial_light" and not estimated:
+                    estimated = (
+                        decision.light_cost
+                        if decision.strategy == "mmjoin"
+                        else decision.estimated_cost
+                    )
+                if operator.name == "matmul_heavy" and not estimated:
+                    estimated = decision.heavy_cost
+            if operator.name == "matmul_heavy" and operator.status == "ran":
+                backend = state.backend_name if state is not None else None
+            reports.append(
+                OperatorReport(
+                    operator=operator.name,
+                    status=operator.status,
+                    estimated_cost=float(estimated),
+                    actual_seconds=operator.actual_seconds,
+                    backend=backend,
+                    detail=dict(operator.detail),
+                )
+            )
+        return PlanExplanation(
+            query_kind=self.query.kind,
+            strategy=state.strategy if state is not None else "unplanned",
+            backend=state.backend_name if state is not None else self.config.matrix_backend,
+            delta1=state.delta1 if state is not None else 0,
+            delta2=state.delta2 if state is not None else 0,
+            operators=reports,
+            total_seconds=state.timings.get("total", 0.0) if state is not None else 0.0,
+            estimated_total_cost=decision.estimated_cost if decision is not None else 0.0,
+            estimated_output=decision.estimated_output if decision is not None else 0.0,
+            output_size=len(state.pairs) if state is not None else 0,
+        )
+
+
+class Planner:
+    """Builds physical plans for logical join-project queries."""
+
+    def __init__(
+        self,
+        config: MMJoinConfig = DEFAULT_CONFIG,
+        registry: Optional[BackendRegistry] = None,
+        optimizer: Optional[CostBasedOptimizer] = None,
+    ) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else default_registry()
+        self.optimizer = optimizer if optimizer is not None else CostBasedOptimizer(config=config)
+
+    def create_plan(self, query: JoinProjectQuery) -> PhysicalPlan:
+        """Lower ``query`` onto the five-operator physical pipeline."""
+        if isinstance(query, (SimilarityJoinQuery, ContainmentJoinQuery)):
+            lowered = self.create_plan(query.lower())
+            lowered.query = query  # report the original kind in explain()
+            return lowered
+        if isinstance(query, StarQuery):
+            mode = MODE_STAR
+        elif isinstance(query, TwoPathQuery):
+            mode = MODE_COUNTS if query.with_counts else MODE_PAIRS
+        else:
+            raise TypeError(f"cannot plan query of type {type(query).__name__}")
+        operators: List[PhysicalOperator] = [
+            SemijoinReduce(),
+            LightHeavyPartition(decide=self._decide),
+            CombinatorialLight(),
+            MatMulHeavy(registry=self.registry),
+            DedupMerge(),
+        ]
+        return PhysicalPlan(query=query, config=self.config, operators=operators, mode=mode)
+
+    def execute(self, query: JoinProjectQuery) -> PhysicalPlan:
+        """Convenience: plan and execute in one call, returning the plan."""
+        plan = self.create_plan(query)
+        plan.execute()
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Strategy decision (explicit thresholds > optimizer > forced WCOJ)
+    # ------------------------------------------------------------------ #
+    def _decide(self, state: ExecutionState) -> OptimizerDecision:
+        config = state.config
+        if state.mode == MODE_STAR and len(state.relations) < 2:
+            # A 1-ary "star" has no join to decompose; even explicit
+            # thresholds cannot make a light/heavy split meaningful.
+            return OptimizerDecision(
+                strategy="wcoj", delta1=0, delta2=0,
+                estimated_cost=0.0, estimated_output=0.0, full_join_size=0,
+            )
+        if config.delta1 is not None and config.delta2 is not None:
+            return OptimizerDecision(
+                strategy="mmjoin",
+                delta1=int(config.delta1),
+                delta2=int(config.delta2),
+                estimated_cost=0.0,
+                estimated_output=0.0,
+                full_join_size=0,
+            )
+        if not config.use_optimizer:
+            return OptimizerDecision(
+                strategy="wcoj", delta1=0, delta2=0,
+                estimated_cost=0.0, estimated_output=0.0, full_join_size=0,
+            )
+        if state.mode == MODE_STAR:
+            return self.optimizer.choose_star(state.relations)
+        return self.optimizer.choose_two_path(state.relations[0], state.relations[1])

@@ -1,0 +1,127 @@
+"""Logical join-project query descriptions.
+
+A :class:`JoinProjectQuery` says *what* to compute — which relations join on
+the shared witness variable ``y``, which head variables survive the
+projection, and whether exact witness counts are required — without saying
+*how*.  The planner lowers every query onto the same physical pipeline
+(semijoin-reduce, light/heavy partition, combinatorial light join, matmul
+heavy join, dedup-merge), so the paper's workloads are all instances:
+
+* :class:`TwoPathQuery` — ``pi_{x,z}(R(x,y) |><| S(z,y))``, optionally with
+  witness counts (Algorithm 1);
+* :class:`StarQuery` — ``pi_{x1..xk}(R1(x1,y), ..., Rk(xk,y))``
+  (Section 3.2);
+* :class:`SimilarityJoinQuery` — the set similarity join, a counting
+  two-path over the set-membership relation (Section 4);
+* :class:`ContainmentJoinQuery` — the set containment join, the same
+  counting two-path filtered by ``count == |a|`` (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.data.relation import Relation
+from repro.data.setfamily import SetFamily
+
+
+@dataclass(frozen=True)
+class JoinProjectQuery:
+    """Base class for logical join-project queries."""
+
+    kind = "abstract"
+
+    def join_relations(self) -> Tuple[Relation, ...]:
+        """The relations participating in the join, in query order."""
+        raise NotImplementedError
+
+    @property
+    def with_counts(self) -> bool:
+        """Whether exact witness counts must be computed."""
+        return False
+
+
+@dataclass(frozen=True)
+class TwoPathQuery(JoinProjectQuery):
+    """``pi_{x,z}(left(x,y) |><| right(z,y))``; counts optional."""
+
+    left: Relation
+    right: Relation
+    counting: bool = False
+
+    kind = "two_path"
+
+    def join_relations(self) -> Tuple[Relation, ...]:
+        return (self.left, self.right)
+
+    @property
+    def with_counts(self) -> bool:
+        return self.counting
+
+
+@dataclass(frozen=True)
+class StarQuery(JoinProjectQuery):
+    """``pi_{x1..xk}`` of k binary relations joined on the shared ``y``."""
+
+    relations: Tuple[Relation, ...] = field(default_factory=tuple)
+
+    kind = "star"
+
+    def __init__(self, relations) -> None:  # accept any sequence
+        object.__setattr__(self, "relations", tuple(relations))
+
+    def join_relations(self) -> Tuple[Relation, ...]:
+        return self.relations
+
+
+@dataclass(frozen=True)
+class SimilarityJoinQuery(JoinProjectQuery):
+    """Set similarity join: pairs of sets overlapping in >= ``overlap`` elements.
+
+    Lowered to the counting two-path query over the set-membership relation;
+    the overlap threshold and self-join canonicalisation are applied to the
+    resulting counts by the SSJ wrapper.
+    """
+
+    family: SetFamily
+    other: Optional[SetFamily] = None
+    overlap: int = 1
+
+    kind = "similarity"
+
+    def join_relations(self) -> Tuple[Relation, ...]:
+        right = self.other.relation if self.other is not None else self.family.relation
+        return (self.family.relation, right)
+
+    @property
+    def with_counts(self) -> bool:
+        return True
+
+    def lower(self) -> TwoPathQuery:
+        """The counting two-path query this similarity join is an instance of."""
+        left, right = self.join_relations()
+        return TwoPathQuery(left=left, right=right, counting=True)
+
+
+@dataclass(frozen=True)
+class ContainmentJoinQuery(JoinProjectQuery):
+    """Set containment join: ``a ⊆ b`` iff the witness count equals ``|a|``."""
+
+    family: SetFamily
+    other: Optional[SetFamily] = None
+
+    kind = "containment"
+
+    def join_relations(self) -> Tuple[Relation, ...]:
+        right = self.other.relation if self.other is not None else self.family.relation
+        return (self.family.relation, right)
+
+    @property
+    def with_counts(self) -> bool:
+        return True
+
+    def lower(self) -> TwoPathQuery:
+        """The counting two-path query this containment join is an instance of."""
+        left, right = self.join_relations()
+        return TwoPathQuery(left=left, right=right, counting=True)

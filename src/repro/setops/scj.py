@@ -33,8 +33,9 @@ import numpy as np
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
 from repro.data.setfamily import SetFamily
 from repro.joins.leapfrog import intersect_sorted
+from repro.plan.planner import Planner
+from repro.plan.query import ContainmentJoinQuery
 from repro.setops.inverted_index import InvertedIndex
-from repro.setops.ssj import ssj_mmjoin
 
 Pair = Tuple[int, int]
 
@@ -92,27 +93,34 @@ def scj_mmjoin(
     containers: SetFamily,
     config: MMJoinConfig = DEFAULT_CONFIG,
 ) -> SCJResult:
-    """SCJ via the counting join-project: ``a ⊆ b`` iff ``|a ∩ b| = |a|``."""
+    """SCJ via the counting join-project: ``a ⊆ b`` iff ``|a ∩ b| = |a|``.
+
+    The containment join is a logical-plan instance: a
+    :class:`~repro.plan.query.ContainmentJoinQuery` lowered by the planner
+    onto the counting two-path pipeline; the ordered witness counts are
+    compared against each contained set's size here.
+    """
     start = time.perf_counter()
     self_join = containers is family
-    join = ssj_mmjoin(family, c=1, other=None if self_join else containers, config=config)
+    planner = Planner(config=config)
+    plan = planner.execute(
+        ContainmentJoinQuery(family=family, other=None if self_join else containers)
+    )
+    state = plan.state
+    assert state.counts is not None
     sizes = family.sizes()
     pairs: Set[Pair] = set()
-    for pair, overlap in join.counts.items():
-        a, b = pair
+    for (a, b), overlap in state.counts.items():
         if self_join:
-            # Canonical pairs carry both directions; check each separately.
-            if overlap >= sizes.get(a, 0) and a != b:
+            if a != b and overlap >= sizes.get(a, 0):
                 pairs.add((a, b))
-            if overlap >= sizes.get(b, 0) and a != b:
-                pairs.add((b, a))
         else:
             if overlap >= sizes.get(a, 1):
                 pairs.add((a, b))
     return SCJResult(
         pairs=pairs,
         method="mmjoin",
-        timings={"total": time.perf_counter() - start, **join.timings},
+        timings={"total": time.perf_counter() - start, **state.timings},
     )
 
 

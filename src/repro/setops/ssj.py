@@ -29,9 +29,9 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
-from repro.core.two_path import two_path_join_counts
-from repro.data.relation import Relation
 from repro.data.setfamily import SetFamily
+from repro.plan.planner import Planner
+from repro.plan.query import SimilarityJoinQuery
 from repro.setops.inverted_index import InvertedIndex, c_subsets, count_c_subsets
 from repro.setops.prefix_tree import PrefixTree
 
@@ -112,19 +112,24 @@ def ssj_mmjoin(
 ) -> SSJResult:
     """SSJ via the counting MMJoin: keep join-project pairs with count >= c.
 
+    The similarity join is a logical-plan instance: a
+    :class:`~repro.plan.query.SimilarityJoinQuery` lowered by the planner
+    onto the counting two-path pipeline, with the overlap threshold applied
+    to the resulting witness counts here.
+
     When ``other`` is given the join is between the two families and output
     pairs are ``(id in family, id in other)``; otherwise it is a self-join
     with canonical ``a < b`` pairs.
     """
     start = time.perf_counter()
-    left = family.relation
-    right = other.relation if other is not None else family.relation
-    join = two_path_join_counts(left, right, config=config)
-    assert join.counts is not None
+    planner = Planner(config=config)
+    plan = planner.execute(SimilarityJoinQuery(family=family, other=other, overlap=c))
+    state = plan.state
+    assert state.counts is not None
     pairs: Set[Pair] = set()
     counts: Dict[Pair, int] = {}
     self_join = other is None
-    for (a, b), count in join.counts.items():
+    for (a, b), count in state.counts.items():
         if count < c:
             continue
         if self_join:
@@ -140,7 +145,7 @@ def ssj_mmjoin(
         counts=counts,
         method="mmjoin",
         overlap=c,
-        timings={"total": time.perf_counter() - start, **join.timings},
+        timings={"total": time.perf_counter() - start, **state.timings},
     )
 
 

@@ -32,6 +32,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scj", "f.txt", "--method", "bogus"])
 
+    def test_join_engine_flag(self):
+        args = build_parser().parse_args(["join", "f.txt", "--engine", "postgres"])
+        assert args.engine == "postgres"
+
+    def test_join_engine_default_mmjoin(self):
+        assert build_parser().parse_args(["join", "f.txt"]).engine == "mmjoin"
+
+    def test_join_invalid_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "f.txt", "--engine", "oracle"])
+
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain", "f.txt"])
+        assert args.command == "explain"
+        assert args.query == "two-path" and args.backend == "auto"
+
+    def test_explain_star_options(self):
+        args = build_parser().parse_args(["explain", "f.txt", "--query", "star", "--k", "2"])
+        assert args.query == "star" and args.k == 2
+
+    def test_new_backends_accepted(self):
+        for backend in ("blocked", "strassen"):
+            args = build_parser().parse_args(["join", "f.txt", "--backend", backend])
+            assert args.backend == backend
+
 
 class TestCommands:
     def test_join_command(self, edge_file, capsys):
@@ -59,3 +84,30 @@ class TestCommands:
         assert main(["datasets", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out
         assert "dblp" in out and "image" in out
+
+    def test_join_with_engine(self, edge_file, capsys):
+        assert main(["join", edge_file, "--engine", "non-mmjoin"]) == 0
+        out = capsys.readouterr().out
+        assert "non-mmjoin" in out and "output_pairs" in out
+
+    def test_explain_command(self, edge_file, capsys):
+        assert main(["explain", edge_file, "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        # The plan names the strategy, thresholds, backend and every operator.
+        assert "strategy: mmjoin" in out
+        assert "delta1:   2" in out
+        assert "backend:" in out
+        for operator in ("semijoin_reduce", "light_heavy_partition",
+                         "combinatorial_light", "matmul_heavy", "dedup_merge"):
+            assert operator in out
+
+    def test_explain_star_command(self, edge_file, capsys):
+        assert main(["explain", edge_file, "--query", "star", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "plan for star join-project" in out
+        assert "semijoin_reduce" in out
+
+    def test_explain_with_backend(self, edge_file, capsys):
+        assert main(["explain", edge_file, "--delta1", "1", "--delta2", "1",
+                     "--backend", "sparse"]) == 0
+        assert "sparse" in capsys.readouterr().out

@@ -8,7 +8,13 @@ from repro.core.estimation import (
     estimate_star_output_size,
     exact_full_join_size,
 )
-from repro.core.optimizer import CostBasedOptimizer, CostConstants, OptimizerDecision
+from repro.core.optimizer import (
+    STAR_SEARCH_CAP,
+    CostBasedOptimizer,
+    CostConstants,
+    OptimizerDecision,
+    _power_of_two_grid,
+)
 from repro.data import generators
 from repro.data.relation import Relation
 from repro.joins.hash_join import hash_join_count, hash_join_project
@@ -118,3 +124,39 @@ class TestOptimizer:
                 max(left.degrees_y().values()), max(right.degrees_y().values())
             )
             assert decision.delta1 <= max_deg + 1
+
+
+class TestStarSearch:
+    """The choose_star grid search deduplicates pairs and caps its steps."""
+
+    def test_search_steps_capped(self, community_relation):
+        relations = [community_relation, community_relation, community_relation]
+        decision = CostBasedOptimizer().choose_star(relations)
+        assert decision.strategy == "mmjoin"
+        assert 0 < decision.search_steps <= STAR_SEARCH_CAP
+
+    def test_no_duplicate_candidate_pairs_evaluated(self, community_relation):
+        relations = [community_relation, community_relation]
+        decision = CostBasedOptimizer().choose_star(relations)
+        grid = _power_of_two_grid(
+            max(d for rel in relations for d in rel.degrees_y().values())
+        )
+        # Distinct pairs only: never more than |grid|^2 evaluations even
+        # before the early exit kicks in.
+        assert decision.search_steps <= len(set(grid)) ** 2
+
+    def test_early_exit_prunes_grid(self, community_relation):
+        """Mirroring the two-path search: rows stop once cost grows again."""
+        relations = [community_relation, community_relation, community_relation]
+        decision = CostBasedOptimizer().choose_star(relations)
+        grid = _power_of_two_grid(
+            max(d for rel in relations for d in rel.degrees_y().values())
+        )
+        full_grid = len(set(grid)) ** 2
+        assert decision.search_steps <= full_grid
+
+    def test_capped_search_still_returns_valid_thresholds(self, skewed_pair):
+        left, right = skewed_pair
+        decision = CostBasedOptimizer().choose_star([left, right, left])
+        if decision.strategy == "mmjoin":
+            assert decision.delta1 >= 1 and decision.delta2 >= 1

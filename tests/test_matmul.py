@@ -7,6 +7,8 @@ from repro.data.relation import Relation
 from repro.matmul.blocked import block_count, blocked_matmul, rectangular_cost
 from repro.matmul.cost_model import MatMulCostModel, calibration_series, theoretical_cost
 from repro.matmul.dense import (
+    FLOAT32_EXACT_LIMIT,
+    accumulation_dtype,
     boolean_matmul,
     build_adjacency,
     build_pair_adjacency,
@@ -31,6 +33,48 @@ def random_matrices():
     a = (rng.random((17, 23)) < 0.3).astype(np.float32)
     b = (rng.random((23, 11)) < 0.3).astype(np.float32)
     return a, b
+
+
+class TestCountOverflowGuard:
+    """Regression tests: witness counts must stay exact past float32's 2^24."""
+
+    def test_default_limit_is_float32_mantissa(self):
+        assert FLOAT32_EXACT_LIMIT == 2**24
+
+    def test_accumulation_dtype_below_limit(self):
+        assert accumulation_dtype(2**24) == np.float32
+        assert accumulation_dtype(8) == np.float32
+
+    def test_accumulation_dtype_above_limit(self):
+        assert accumulation_dtype(2**24 + 1) == np.float64
+        assert accumulation_dtype(2**30) == np.float64
+
+    def test_small_products_stay_float32(self):
+        a = np.ones((2, 8), dtype=np.float32)
+        b = np.ones((8, 2), dtype=np.float32)
+        assert count_matmul(a, b).dtype == np.float32
+
+    def test_guard_widens_accumulation(self):
+        # A lowered limit stands in for a >2^24 inner dimension: the product
+        # must widen to float64 and the counts must stay exact integers.
+        a = np.ones((3, 8), dtype=np.float32)
+        b = np.ones((8, 3), dtype=np.float32)
+        product = count_matmul(a, b, exact_limit=4)
+        assert product.dtype == np.float64
+        assert np.array_equal(product, np.full((3, 3), 8.0))
+
+    def test_widened_counts_survive_float32_rounding(self):
+        # 2^24 + 1 is the first integer float32 cannot represent; simulate a
+        # count that large by accumulating float64 values near the boundary.
+        boundary = np.float64(2**24)
+        a = np.array([[boundary, 1.0]])
+        b = np.array([[1.0], [1.0]])
+        exact = count_matmul(a, b, exact_limit=1)  # force the float64 path
+        assert exact.dtype == np.float64
+        assert exact[0, 0] == 2**24 + 1
+        # The float32 path loses the +1 — the failure the guard prevents.
+        lossy = (a.astype(np.float32) @ b.astype(np.float32)).astype(np.float64)
+        assert lossy[0, 0] == 2**24
 
 
 class TestDenseKernels:
