@@ -1,0 +1,28 @@
+"""Bench-runner wiring for the dedup-merge microbenchmark.
+
+Runs :mod:`micro_pairblock` under the pytest-benchmark harness, records the
+paper-style table to ``benchmarks/results/micro_pairblock.txt`` and asserts
+the acceptance bar: the columnar merge is at least 2x faster than the
+set-based merge on the 10^6-pair workload.
+"""
+
+import micro_pairblock
+
+
+def test_micro_pairblock_table(benchmark, record_rows):
+    rows = benchmark.pedantic(micro_pairblock.run_rows, rounds=1, iterations=1)
+    text = record_rows(
+        "micro_pairblock", rows,
+        title="Microbenchmark: set-based vs columnar dedup-merge",
+    )
+    print("\n" + text)
+    acceptance = [r for r in rows if r["pairs"] == 1_000_000]
+    assert acceptance, "10^6-pair workload missing from the sweep"
+    assert acceptance[0]["speedup"] >= 2.0, acceptance[0]
+
+
+def test_micro_pairblock_outputs_agree():
+    """The two merge implementations produce identical distinct pairs."""
+    light, heavy = micro_pairblock.make_workload(20_000)
+    expected = micro_pairblock.set_based_merge(light, heavy)
+    assert micro_pairblock.columnar_merge(light, heavy).to_set() == expected

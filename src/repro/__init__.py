@@ -4,8 +4,9 @@ This package is a from-scratch Python reproduction of the system described in
 "Fast Join Project Query Evaluation using Matrix Multiplication"
 (Deep, Hu, Koutris — SIGMOD 2020).  It provides:
 
-* ``repro.data`` — binary relation storage, degree indexes, synthetic dataset
-  generators that mirror the paper's evaluation datasets.
+* ``repro.data`` — binary relation storage, the columnar ``PairBlock`` /
+  ``CountedPairBlock`` result representation, degree indexes, synthetic
+  dataset generators that mirror the paper's evaluation datasets.
 * ``repro.joins`` — worst-case optimal join algorithms (hash, sort-merge,
   leapfrog-style multiway intersection, generic join) and the combinatorial
   output-sensitive baseline.
@@ -34,6 +35,7 @@ Quickstart
 """
 
 from repro.data.relation import Relation
+from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.catalog import Catalog
 from repro.data.setfamily import SetFamily
 from repro.core.two_path import MMJoinResult, two_path_join, two_path_join_detailed
@@ -54,10 +56,12 @@ from repro.setops.ssj import set_similarity_join
 from repro.setops.ssj_ordered import ordered_set_similarity_join
 from repro.setops.scj import set_containment_join
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Relation",
+    "PairBlock",
+    "CountedPairBlock",
     "Catalog",
     "SetFamily",
     "MMJoinResult",

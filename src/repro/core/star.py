@@ -95,8 +95,8 @@ def star_join_detailed(
         strategy=state.strategy,
         delta1=state.delta1,
         delta2=state.delta2,
-        light_tuples=len(state.light_pairs),
-        heavy_tuples=len(state.heavy_pairs),
+        light_tuples=len(state.light_block),
+        heavy_tuples=len(state.heavy_block),
         matrix_dims=state.matrix_dims,
         backend=state.backend_name,
         timings=dict(state.timings),

@@ -143,12 +143,12 @@ def result_from_plan(plan, with_counts: bool = False) -> MMJoinResult:
     state = plan.state
     if with_counts:
         counts = state.counts if state.counts is not None else {}
-        light_found = len(state.light_counts)
-        heavy_found = len(state.heavy_counts)
+        light_found = len(state.light_counted)
+        heavy_found = len(state.heavy_counted)
     else:
         counts = None
-        light_found = len(state.light_pairs)
-        heavy_found = len(state.heavy_pairs)
+        light_found = len(state.light_block)
+        heavy_found = len(state.heavy_block)
     return MMJoinResult(
         pairs=state.pairs,
         counts=counts,

@@ -1,6 +1,7 @@
-"""Data substrate: relations, indexes, catalogs, generators and loaders."""
+"""Data substrate: relations, result blocks, indexes, catalogs and loaders."""
 
 from repro.data.relation import Relation
+from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.indexes import DegreeIndex, DegreeStatistics
 from repro.data.catalog import Catalog
 from repro.data.setfamily import SetFamily
@@ -9,6 +10,8 @@ from repro.data import loaders
 
 __all__ = [
     "Relation",
+    "PairBlock",
+    "CountedPairBlock",
     "DegreeIndex",
     "DegreeStatistics",
     "Catalog",

@@ -1,0 +1,438 @@
+"""Columnar result blocks for the join-project pipeline.
+
+The physical operators used to hand results around as Python
+``Set[Tuple[int, int]]`` — every probe, merge and set operation was a
+per-tuple Python loop, which dominates real join-project runtimes long
+before the matrix product does.  This module provides the columnar
+representation that replaces those sets *inside* the pipeline:
+
+* :class:`PairBlock` — an arity-``k`` block of integer result tuples stored
+  as ``k`` parallel ``int64`` column arrays.  Deduplication, concatenation,
+  set difference and intersection are NumPy-speed: rows are packed into
+  single ``int64`` sort keys whenever the per-column value ranges allow it
+  (they essentially always do), with an ``np.unique(axis=0)``-based fallback
+  for astronomically large domains.
+* :class:`CountedPairBlock` — a :class:`PairBlock` plus a parallel ``int64``
+  witness-count column (the MODE_COUNTS substrate for SSJ/SCJ).  Its
+  :meth:`CountedPairBlock.dedup` aggregates counts with ``np.add.at`` over
+  the packed keys.  Counts stay exact: the matmul layer already widens the
+  accumulation to ``float64`` past the ``float32`` exact-integer range (see
+  :func:`repro.matmul.dense.accumulation_dtype`), and extraction rounds the
+  widened products straight into this block's ``int64`` column.
+
+Python sets appear only at the API boundary: :meth:`PairBlock.to_set` /
+:meth:`PairBlock.from_pairs` (and the counted dict equivalents) convert
+lazily where engines, the CLI and the legacy result objects need them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Pair = Tuple[int, int]
+HeadTuple = Tuple[int, ...]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+# Packed keys must stay within the exact int64 range.
+_MAX_PACKED = 2**63 - 1
+
+
+def _as_columns(columns: Sequence[np.ndarray]) -> Tuple[np.ndarray, ...]:
+    out = tuple(np.asarray(c, dtype=np.int64).reshape(-1) for c in columns)
+    if not out:
+        raise ValueError("a block needs at least one column")
+    n = out[0].size
+    if any(c.size != n for c in out):
+        raise ValueError("block columns must have equal length")
+    return out
+
+
+def _pack_layout(
+    column_groups: Sequence[Sequence[np.ndarray]],
+) -> Optional[Tuple[List[int], List[int]]]:
+    """Shared (mins, strides) packing rows of every group into one int64 key.
+
+    Row-major packing, so packed-key order equals lexicographic row order.
+    Returns ``None`` when the combined per-column ranges overflow int64.
+    """
+    arity = len(column_groups[0])
+    mins: List[int] = []
+    ranges: List[int] = []
+    for j in range(arity):
+        cols = [g[j] for g in column_groups if g[j].size]
+        if not cols:
+            mins.append(0)
+            ranges.append(1)
+            continue
+        lo = min(int(c.min()) for c in cols)
+        hi = max(int(c.max()) for c in cols)
+        mins.append(lo)
+        ranges.append(hi - lo + 1)
+    total = 1
+    for r in ranges:
+        total *= r
+        if total > _MAX_PACKED:
+            return None
+    strides = [1] * arity
+    for j in range(arity - 2, -1, -1):
+        strides[j] = strides[j + 1] * ranges[j + 1]
+    return mins, strides
+
+
+def _pack(columns: Sequence[np.ndarray], mins: List[int], strides: List[int]) -> np.ndarray:
+    keys = (columns[0] - mins[0]) * strides[0]
+    for col, lo, stride in zip(columns[1:], mins[1:], strides[1:]):
+        keys = keys + (col - lo) * stride
+    return keys
+
+
+class PairBlock:
+    """A columnar block of arity-``k`` integer result tuples.
+
+    Parameters
+    ----------
+    columns:
+        ``k`` parallel 1-D integer arrays; row ``i`` is the output tuple
+        ``(columns[0][i], ..., columns[k-1][i])``.
+    deduped:
+        Caller-guaranteed hint that the rows are already distinct (e.g. the
+        non-zero cells of a matrix product).  ``dedup()`` still canonicalises
+        the order but the hint keeps ``distinct_size`` cheap.
+    """
+
+    __slots__ = ("columns", "deduped")
+
+    def __init__(self, columns: Sequence[np.ndarray], deduped: bool = False) -> None:
+        self.columns = _as_columns(columns)
+        self.deduped = bool(deduped) or self.columns[0].size <= 1
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, arity: int = 2) -> "PairBlock":
+        return cls(tuple(_EMPTY for _ in range(max(int(arity), 1))), deduped=True)
+
+    @classmethod
+    def from_array(cls, rows: np.ndarray, deduped: bool = False) -> "PairBlock":
+        """Build a block from an ``(n, k)`` row-major array."""
+        arr = np.asarray(rows, dtype=np.int64)
+        if arr.ndim != 2:
+            raise ValueError(f"expected an (n, k) array, got shape {arr.shape}")
+        return cls(tuple(np.ascontiguousarray(arr[:, j]) for j in range(arr.shape[1])),
+                   deduped=deduped)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[HeadTuple], arity: int = 2) -> "PairBlock":
+        """Boundary conversion: build a block from an iterable of tuples."""
+        rows = list(pairs)
+        if not rows:
+            return cls.empty(arity)
+        arr = np.asarray(rows, dtype=np.int64)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        return cls.from_array(arr, deduped=isinstance(pairs, (set, frozenset, dict)))
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the column arrays in bytes."""
+        return int(sum(c.nbytes for c in self.columns))
+
+    def __len__(self) -> int:
+        return int(self.columns[0].size)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[HeadTuple]:
+        if self.arity == 2:
+            return iter(zip(self.columns[0].tolist(), self.columns[1].tolist()))
+        return iter(map(tuple, self.as_array().tolist()))
+
+    def __contains__(self, row: HeadTuple) -> bool:
+        mask = self.columns[0] == int(row[0])
+        for col, value in zip(self.columns[1:], row[1:]):
+            mask &= col == int(value)
+        return bool(mask.any())
+
+    def __repr__(self) -> str:
+        return f"PairBlock(rows={len(self)}, arity={self.arity})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PairBlock):
+            if self.arity != other.arity:
+                return False
+            return np.array_equal(self.dedup().as_array(), other.dedup().as_array())
+        if isinstance(other, (set, frozenset)):
+            return self.to_set() == other
+        return NotImplemented
+
+    # Blocks compare by (deduplicated) content, so they are unhashable —
+    # Python's default when __eq__ is defined without __hash__.
+    __hash__ = None  # type: ignore[assignment]
+
+    def as_array(self) -> np.ndarray:
+        """The rows as an ``(n, k)`` array (a column-stacked copy)."""
+        return np.column_stack(self.columns) if len(self) else np.empty(
+            (0, self.arity), dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------ #
+    # Set algebra (NumPy-speed)
+    # ------------------------------------------------------------------ #
+    def dedup(self) -> "PairBlock":
+        """Distinct rows in canonical (lexicographic) order."""
+        if len(self) <= 1:
+            return self
+        layout = _pack_layout([self.columns])
+        if layout is not None:
+            keys = _pack(self.columns, *layout)
+            _, first = np.unique(keys, return_index=True)
+            return PairBlock(tuple(c[first] for c in self.columns), deduped=True)
+        return PairBlock.from_array(np.unique(self.as_array(), axis=0), deduped=True)
+
+    def distinct_size(self) -> int:
+        """Number of distinct rows (no-op when already deduped)."""
+        return len(self) if self.deduped else len(self.dedup())
+
+    def concat(self, other: "PairBlock") -> "PairBlock":
+        """Row concatenation (duplicates preserved — dedup separately)."""
+        if len(self) == 0:
+            return other
+        if len(other) == 0:
+            return self
+        if self.arity != other.arity:
+            raise ValueError("cannot concatenate blocks of different arity")
+        return PairBlock(
+            tuple(np.concatenate([a, b]) for a, b in zip(self.columns, other.columns))
+        )
+
+    @staticmethod
+    def concat_all(blocks: Sequence["PairBlock"], arity: int = 2) -> "PairBlock":
+        """Concatenate many blocks (the parallel executor's merge step)."""
+        blocks = [b for b in blocks if len(b)]
+        if not blocks:
+            return PairBlock.empty(arity)
+        if any(b.arity != blocks[0].arity for b in blocks[1:]):
+            raise ValueError("cannot concatenate blocks of different arity")
+        if len(blocks) == 1:
+            return blocks[0]
+        return PairBlock(
+            tuple(
+                np.concatenate([b.columns[j] for b in blocks])
+                for j in range(blocks[0].arity)
+            )
+        )
+
+    def _membership(self, other: "PairBlock") -> np.ndarray:
+        """Boolean mask over this block's rows: present in ``other``?"""
+        if self.arity != other.arity:
+            raise ValueError("cannot compare blocks of different arity")
+        layout = _pack_layout([self.columns, other.columns])
+        if layout is not None:
+            return np.isin(_pack(self.columns, *layout), _pack(other.columns, *layout))
+        # Fallback for domains too large to pack: one unique() over the
+        # stacked rows labels every distinct row, membership is a gather.
+        mine = self.as_array()
+        theirs = other.as_array()
+        _, inverse = np.unique(
+            np.concatenate([mine, theirs]), axis=0, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        present = np.zeros(int(inverse.max()) + 1, dtype=bool)
+        present[inverse[len(self):]] = True
+        return present[inverse[: len(self)]]
+
+    def difference(self, other: "PairBlock") -> "PairBlock":
+        """Distinct rows of ``self`` that do not appear in ``other``."""
+        if len(self) == 0 or len(other) == 0:
+            return self.dedup()
+        mask = ~self._membership(other)
+        return PairBlock(tuple(c[mask] for c in self.columns), deduped=self.deduped).dedup()
+
+    def intersection(self, other: "PairBlock") -> "PairBlock":
+        """Distinct rows present in both blocks."""
+        if len(self) == 0 or len(other) == 0:
+            return PairBlock.empty(self.arity)
+        mask = self._membership(other)
+        return PairBlock(tuple(c[mask] for c in self.columns), deduped=self.deduped).dedup()
+
+    # ------------------------------------------------------------------ #
+    # Boundary conversion
+    # ------------------------------------------------------------------ #
+    def to_set(self) -> set:
+        """Materialise as a Python set of tuples (API boundary only)."""
+        if self.arity == 2:
+            return set(zip(self.columns[0].tolist(), self.columns[1].tolist()))
+        return set(map(tuple, self.as_array().tolist()))
+
+
+class CountedPairBlock:
+    """A :class:`PairBlock` with a parallel ``int64`` witness-count column."""
+
+    __slots__ = ("columns", "counts", "deduped")
+
+    def __init__(
+        self,
+        columns: Sequence[np.ndarray],
+        counts: np.ndarray,
+        deduped: bool = False,
+    ) -> None:
+        self.columns = _as_columns(columns)
+        self.counts = np.asarray(counts, dtype=np.int64).reshape(-1)
+        if self.counts.size != self.columns[0].size:
+            raise ValueError("counts column must match the key columns in length")
+        self.deduped = bool(deduped) or self.columns[0].size <= 1
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, arity: int = 2) -> "CountedPairBlock":
+        return cls(tuple(_EMPTY for _ in range(max(int(arity), 1))), _EMPTY, deduped=True)
+
+    @classmethod
+    def from_expansion(cls, block: PairBlock) -> "CountedPairBlock":
+        """Wrap a raw expansion block: every row is one witness (count 1)."""
+        return cls(block.columns, np.ones(len(block), dtype=np.int64))
+
+    @classmethod
+    def from_dict(cls, counts: Dict[HeadTuple, int], arity: int = 2) -> "CountedPairBlock":
+        """Boundary conversion from a ``{tuple: count}`` mapping."""
+        if not counts:
+            return cls.empty(arity)
+        keys = np.asarray(list(counts.keys()), dtype=np.int64)
+        if keys.ndim == 1:
+            keys = keys.reshape(-1, 1)
+        values = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
+        return cls(tuple(np.ascontiguousarray(keys[:, j]) for j in range(keys.shape[1])),
+                   values, deduped=True)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(c.nbytes for c in self.columns) + self.counts.nbytes)
+
+    def __len__(self) -> int:
+        return int(self.columns[0].size)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:
+        return f"CountedPairBlock(rows={len(self)}, arity={self.arity})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CountedPairBlock):
+            a, b = self.dedup(), other.dedup()
+            return (
+                a.arity == b.arity
+                and np.array_equal(a.pairs_block().as_array(), b.pairs_block().as_array())
+                and np.array_equal(a.counts, b.counts)
+            )
+        if isinstance(other, dict):
+            return self.to_dict() == other
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def pairs_block(self) -> PairBlock:
+        """The key columns as a plain :class:`PairBlock` (counts dropped)."""
+        return PairBlock(self.columns, deduped=self.deduped)
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def concat(self, other: "CountedPairBlock") -> "CountedPairBlock":
+        if len(self) == 0:
+            return other
+        if len(other) == 0:
+            return self
+        if self.arity != other.arity:
+            raise ValueError("cannot concatenate blocks of different arity")
+        return CountedPairBlock(
+            tuple(np.concatenate([a, b]) for a, b in zip(self.columns, other.columns)),
+            np.concatenate([self.counts, other.counts]),
+        )
+
+    def dedup(self, reduce: str = "sum") -> "CountedPairBlock":
+        """Aggregate counts per distinct key row.
+
+        ``reduce="sum"`` adds witness counts (the dedup-merge semantics:
+        light and heavy witness populations are disjoint, so their counts add
+        exactly); ``reduce="max"`` keeps the largest (used when duplicated
+        rows are known to carry identical counts, e.g. after canonicalising
+        unordered pairs).  Aggregation is ``np.ufunc.at`` over the packed
+        keys — no Python dict is ever built.
+        """
+        if reduce not in ("sum", "max"):
+            raise ValueError(f"unknown reduce mode {reduce!r}")
+        if len(self) <= 1:
+            return self
+        layout = _pack_layout([self.columns])
+        if layout is not None:
+            keys = _pack(self.columns, *layout)
+            _, first, inverse = np.unique(keys, return_index=True, return_inverse=True)
+            out_columns = tuple(c[first] for c in self.columns)
+        else:
+            _, first, inverse = np.unique(
+                self.as_array(), axis=0, return_index=True, return_inverse=True
+            )
+            out_columns = tuple(c[first] for c in self.columns)
+        inverse = inverse.reshape(-1)
+        if reduce == "sum":
+            aggregated = np.zeros(first.size, dtype=np.int64)
+            np.add.at(aggregated, inverse, self.counts)
+        else:
+            # Seed with each key's first count so non-positive counts
+            # aggregate correctly (maximum.at is idempotent on the seed row).
+            aggregated = self.counts[first].copy()
+            np.maximum.at(aggregated, inverse, self.counts)
+        return CountedPairBlock(out_columns, aggregated, deduped=True)
+
+    def filter(self, mask: np.ndarray) -> "CountedPairBlock":
+        """Rows selected by a boolean mask (e.g. ``counts >= c``)."""
+        mask = np.asarray(mask, dtype=bool)
+        return CountedPairBlock(
+            tuple(c[mask] for c in self.columns), self.counts[mask], deduped=self.deduped
+        )
+
+    def as_array(self) -> np.ndarray:
+        """Key rows as an ``(n, k)`` array (counts not included)."""
+        return self.pairs_block().as_array()
+
+    # ------------------------------------------------------------------ #
+    # Boundary conversion
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[HeadTuple, int]:
+        """Materialise as ``{tuple: count}`` (API boundary only).
+
+        A block that is already aggregated (``deduped``) converts directly —
+        no second unique pass at the boundary.
+        """
+        block = self if self.deduped else self.dedup()
+        if block.arity == 2:
+            keys = zip(block.columns[0].tolist(), block.columns[1].tolist())
+            return dict(zip(keys, block.counts.tolist()))
+        return dict(zip(map(tuple, block.as_array().tolist()), block.counts.tolist()))
+
+    def to_set(self) -> set:
+        """Distinct key rows as a Python set of tuples (API boundary only)."""
+        block = self.pairs_block()
+        return block.to_set() if self.deduped else block.dedup().to_set()

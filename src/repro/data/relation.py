@@ -80,6 +80,7 @@ class Relation:
         "_y_values",
         "_deg_x",
         "_deg_y",
+        "_ysorted",
     )
 
     def __init__(
@@ -106,6 +107,7 @@ class Relation:
         self._y_values: Optional[np.ndarray] = None
         self._deg_x: Optional[Dict[int, int]] = None
         self._deg_y: Optional[Dict[int, int]] = None
+        self._ysorted: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -233,6 +235,22 @@ class Relation:
         if self._index_y is None:
             self._index_y = self._build_index(1)
         return self._index_y
+
+    def sorted_by_y(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(ys, xs)`` columns sorted by y (built once, cached).
+
+        This is the probe-side layout of the vectorized light join: a
+        ``searchsorted`` over the sorted y column yields each witness's
+        contiguous partner range, so the whole expansion is index gathers
+        instead of per-tuple dictionary lookups.
+        """
+        if self._ysorted is None:
+            order = np.argsort(self._data[:, 1], kind="stable")
+            self._ysorted = (
+                np.ascontiguousarray(self._data[order, 1]),
+                np.ascontiguousarray(self._data[order, 0]),
+            )
+        return self._ysorted
 
     def neighbors_x(self, x: int) -> np.ndarray:
         """Sorted y values paired with ``x`` (empty array if none)."""

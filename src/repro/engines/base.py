@@ -5,6 +5,12 @@ and the 3-relation star join-project — through several engines.  Every engine
 implements :class:`QueryEngine` so the benchmark harness can treat MMJoin,
 the combinatorial baseline, the SQL-like engines and the set-intersection
 engine uniformly.
+
+This module is the *set-conversion boundary* of the pipeline: internally the
+planner's operators exchange columnar
+:class:`~repro.data.pairblock.PairBlock` results, and the Python
+``Set[Tuple[int, ...]]`` an :class:`EngineResult` exposes is materialised
+exactly once, when an engine's ``two_path`` / ``star`` method returns.
 """
 
 from __future__ import annotations
@@ -46,11 +52,19 @@ class QueryEngine(abc.ABC):
 
     @abc.abstractmethod
     def two_path(self, left: Relation, right: Relation) -> Set[Pair]:
-        """Evaluate ``pi_{x,z}(left(x,y) |><| right(z,y))``."""
+        """Evaluate ``pi_{x,z}(left(x,y) |><| right(z,y))``.
+
+        Returns a Python set: this call is the boundary where the pipeline's
+        columnar blocks convert (once) into tuples for external consumers.
+        """
 
     @abc.abstractmethod
     def star(self, relations: Sequence[Relation]) -> Set[HeadTuple]:
-        """Evaluate the projected star join over the given relations."""
+        """Evaluate the projected star join over the given relations.
+
+        Returns a Python set — the same set-conversion boundary as
+        :meth:`two_path`.
+        """
 
     def collect_details(self) -> Dict[str, Any]:
         """Execution metadata for the most recent evaluation.

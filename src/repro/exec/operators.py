@@ -8,17 +8,28 @@ subclasses that the :class:`~repro.plan.planner.Planner` composes; each
 operator handles the three execution modes (set-semantics two-path, counting
 two-path, star) and records its wall-clock time and a detail dictionary for
 ``explain()``.
+
+Results flow between operators as columnar
+:class:`~repro.data.pairblock.PairBlock` /
+:class:`~repro.data.pairblock.CountedPairBlock` instances: the light join is
+a vectorized ``searchsorted`` probe with index gathers, the heavy join reads
+its block straight off the product's non-zero coordinates, and the final
+dedup-merge is one packed-key ``np.unique`` (with ``np.add.at`` count
+aggregation under MODE_COUNTS).  Every operator also records
+``memory_in_bytes`` / ``memory_out_bytes`` so ``explain()`` shows where the
+memory goes.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
 from repro.core.optimizer import OptimizerDecision
 from repro.core.partitioning import partition_star, partition_two_path
+from repro.data.pairblock import PairBlock
 from repro.data.relation import Relation
 from repro.exec.state import (
     MODE_COUNTS,
@@ -27,14 +38,25 @@ from repro.exec.state import (
     CountingPartition,
     ExecutionState,
 )
-from repro.joins.baseline import combinatorial_star, combinatorial_two_path
-from repro.joins.generic_join import generic_star_join_project
+from repro.joins.baseline import (
+    cartesian_arrays,
+    combinatorial_star_block,
+    combinatorial_two_path_block,
+    combinatorial_two_path_counted,
+    counted_probe_block,
+    deduped_probe_block,
+    star_expansion_block,
+)
 from repro.matmul.registry import BackendRegistry
 from repro.parallel.executor import ParallelExecutor, split_relation
 
 Pair = Tuple[int, int]
 HeadTuple = Tuple[int, ...]
 DecideFn = Callable[[ExecutionState], OptimizerDecision]
+
+
+def _relation_bytes(relations) -> int:
+    return int(sum(r.data.nbytes for r in relations))
 
 
 class PhysicalOperator:
@@ -66,6 +88,11 @@ class PhysicalOperator:
         self.status = "skipped"
         self.detail["skip_reason"] = reason
 
+    def record_memory(self, in_bytes: int, out_bytes: int) -> None:
+        """Record block/relation sizes flowing through this operator."""
+        self.detail["memory_in_bytes"] = int(in_bytes)
+        self.detail["memory_out_bytes"] = int(out_bytes)
+
 
 class SemijoinReduce(PhysicalOperator):
     """Drop dangling tuples: keep only witnesses shared by every relation."""
@@ -74,11 +101,13 @@ class SemijoinReduce(PhysicalOperator):
 
     def run(self, state: ExecutionState) -> None:
         relations = state.relations
+        in_bytes = _relation_bytes(relations)
         self.detail["input_tuples"] = sum(len(r) for r in relations)
         if not relations or any(len(r) == 0 for r in relations):
             state.relations = [Relation.empty(r.name) for r in relations]
             state.finish_empty()
             self.detail["output_tuples"] = 0
+            self.record_memory(in_bytes, 0)
             return
         if state.mode == MODE_STAR:
             shared = relations[0].y_values()
@@ -93,6 +122,7 @@ class SemijoinReduce(PhysicalOperator):
             ]
         state.relations = reduced
         self.detail["output_tuples"] = sum(len(r) for r in reduced)
+        self.record_memory(in_bytes, _relation_bytes(reduced))
         if any(len(r) == 0 for r in reduced):
             state.finish_empty()
 
@@ -111,8 +141,10 @@ class LightHeavyPartition(PhysicalOperator):
         state.decision = decision
         state.strategy = decision.strategy
         self.detail["strategy"] = decision.strategy
+        in_bytes = _relation_bytes(state.relations)
         if decision.strategy == "wcoj":
             self.detail["reason"] = "optimizer chose plain worst-case optimal join"
+            self.record_memory(in_bytes, 0)
             return
         delta1, delta2 = decision.delta1, decision.delta2
         if state.mode == MODE_COUNTS:
@@ -120,7 +152,8 @@ class LightHeavyPartition(PhysicalOperator):
             state.delta1 = state.partition.delta1
             state.delta2 = state.partition.delta1
             self.detail["heavy_witnesses"] = int(state.partition.heavy_y.size)
-            self.detail["light_witnesses"] = len(state.partition.light_y)
+            self.detail["light_witnesses"] = int(state.partition.light_y.size)
+            out_bytes = int(state.partition.heavy_y.nbytes + state.partition.light_y.nbytes)
         elif state.mode == MODE_STAR:
             partition = partition_star(state.relations, delta1, delta2)
             state.partition = partition
@@ -133,6 +166,7 @@ class LightHeavyPartition(PhysicalOperator):
                 state.fallback_combinatorial = True
                 self.detail["fallback"] = "empty heavy residual; full combinatorial join"
             self.detail["heavy_witnesses"] = int(partition.heavy_y.size)
+            out_bytes = _relation_bytes(partition.light_head) + _relation_bytes(partition.heavy)
         else:
             partition = partition_two_path(state.relations[0], state.relations[1], delta1, delta2)
             state.partition = partition
@@ -140,6 +174,10 @@ class LightHeavyPartition(PhysicalOperator):
             state.delta2 = partition.delta2
             self.detail["light_fraction"] = round(partition.light_fraction(), 4)
             self.detail["heavy_witnesses"] = int(partition.heavy_y.size)
+            out_bytes = _relation_bytes(
+                [partition.r_light, partition.s_light, partition.r_heavy, partition.s_heavy]
+            )
+        self.record_memory(in_bytes, out_bytes)
 
     @staticmethod
     def _counting_partition(state: ExecutionState, delta1: int) -> CountingPartition:
@@ -147,17 +185,18 @@ class LightHeavyPartition(PhysicalOperator):
         delta1 = max(int(delta1), 1)
         left_deg_y = left.degrees_y()
         right_deg_y = right.degrees_y()
-        shared = set(left_deg_y) & set(right_deg_y)
-        heavy_y = np.asarray(
-            sorted(
-                y for y in shared
-                if left_deg_y[y] > delta1 and right_deg_y[y] > delta1
+        shared = np.asarray(sorted(set(left_deg_y) & set(right_deg_y)), dtype=np.int64)
+        heavy_mask = np.fromiter(
+            (
+                left_deg_y[int(y)] > delta1 and right_deg_y[int(y)] > delta1
+                for y in shared
             ),
-            dtype=np.int64,
+            count=shared.size,
+            dtype=bool,
         )
-        heavy_y_set = set(int(v) for v in heavy_y)
-        light_y = [y for y in shared if int(y) not in heavy_y_set]
-        return CountingPartition(heavy_y=heavy_y, light_y=light_y, delta1=delta1)
+        return CountingPartition(
+            heavy_y=shared[heavy_mask], light_y=shared[~heavy_mask], delta1=delta1
+        )
 
 
 class CombinatorialLight(PhysicalOperator):
@@ -168,25 +207,42 @@ class CombinatorialLight(PhysicalOperator):
     def run(self, state: ExecutionState) -> None:
         if state.strategy == "wcoj" or state.fallback_combinatorial:
             self._run_full(state)
-            return
-        if state.mode == MODE_COUNTS:
+        elif state.mode == MODE_COUNTS:
             self._run_light_counts(state)
         elif state.mode == MODE_STAR:
             self._run_light_star(state)
         else:
             self._run_light_pairs(state)
+        in_bytes = self._input_bytes(state)
+        if state.mode == MODE_COUNTS:
+            self.record_memory(in_bytes, state.light_counted.nbytes)
+        else:
+            self.record_memory(in_bytes, state.light_block.nbytes)
+
+    @staticmethod
+    def _input_bytes(state: ExecutionState) -> int:
+        """Bytes this operator actually consumed: its light partition slice
+        (plus the probed full relations), or everything under WCOJ."""
+        partition = state.partition
+        if state.strategy == "wcoj" or state.fallback_combinatorial or partition is None:
+            return _relation_bytes(state.relations)
+        if state.mode == MODE_STAR:
+            return _relation_bytes(partition.light_head)
+        if state.mode == MODE_COUNTS:
+            return _relation_bytes(state.relations) + int(partition.light_y.nbytes)
+        return _relation_bytes([partition.r_light, partition.s_light])
 
     # -- full combinatorial evaluation (WCOJ strategy / star fallback) -----
     def _run_full(self, state: ExecutionState) -> None:
         self.detail["scope"] = "full combinatorial join"
         if state.mode == MODE_STAR:
-            state.light_pairs = combinatorial_star(state.relations)
+            state.light_block = combinatorial_star_block(state.relations)
         elif state.mode == MODE_COUNTS:
-            state.light_counts = combinatorial_two_path(
-                state.relations[0], state.relations[1], with_counts=True
+            state.light_counted = combinatorial_two_path_counted(
+                state.relations[0], state.relations[1]
             )
         else:
-            state.light_pairs = combinatorial_two_path(
+            state.light_block = combinatorial_two_path_block(
                 state.relations[0],
                 state.relations[1],
                 dedup_strategy=state.config.dedup_strategy,
@@ -197,54 +253,51 @@ class CombinatorialLight(PhysicalOperator):
         partition = state.partition
         left, right = state.relations
         cores = state.config.cores
-        output: Set[Pair] = set()
-        tasks: List[Tuple[Relation, Dict[int, np.ndarray], bool]] = []
+        tasks: List[Tuple[Relation, Relation, bool]] = []
         if len(partition.r_light):
-            right_index = right.index_y()
+            right.sorted_by_y()  # build the probe layout once, outside the pool
             for chunk in split_relation(partition.r_light, cores):
-                tasks.append((chunk, right_index, False))
+                tasks.append((chunk, right, False))
         if len(partition.s_light):
-            left_index = left.index_y()
+            left.sorted_by_y()
             for chunk in split_relation(partition.s_light, cores):
-                tasks.append((chunk, left_index, True))
+                tasks.append((chunk, left, True))
         if tasks:
             executor = ParallelExecutor(cores=cores)
-            for chunk_pairs in executor.map(_probe_chunk, tasks):
-                output |= chunk_pairs
-        state.light_pairs = output
-        self.detail["light_pairs"] = len(output)
+            blocks = executor.map(_probe_chunk, tasks)
+            # Worker blocks merge with one concat; a single packed-key
+            # unique replaces the old per-chunk set unions.
+            state.light_block = PairBlock.concat_all(blocks).dedup()
+        self.detail["light_pairs"] = len(state.light_block)
 
     def _run_light_counts(self, state: ExecutionState) -> None:
         partition = state.partition
         left, right = state.relations
-        counts: Dict[Pair, int] = {}
-        left_index = left.index_y()
-        right_index = right.index_y()
-        for y in partition.light_y:
-            xs = left_index[int(y)]
-            zs = right_index[int(y)]
-            for x in xs:
-                xi = int(x)
-                for z in zs:
-                    key = (xi, int(z))
-                    counts[key] = counts.get(key, 0) + 1
-        state.light_counts = counts
-        self.detail["light_pairs"] = len(counts)
+        light_mask = np.isin(left.ys, partition.light_y)
+        # Chunked expansion: peak memory tracks the distinct output, not the
+        # raw witness count (same machinery as the combinatorial baseline).
+        state.light_counted = counted_probe_block(
+            left.xs[light_mask], left.ys[light_mask], right
+        )
+        self.detail["light_pairs"] = len(state.light_counted)
 
     def _run_light_star(self, state: ExecutionState) -> None:
         partition = state.partition
         relations = state.relations
-        output: Set[HeadTuple] = set()
+        blocks: List[PairBlock] = []
+        arity = max(len(relations), 1)
         for i, light_rel in enumerate(partition.light_head):
             if len(light_rel) == 0:
                 continue
             sub = list(relations)
             sub[i] = light_rel
-            output |= generic_star_join_project(sub)
+            blocks.append(star_expansion_block(sub))
         if partition.light_y.size:
-            output |= generic_star_join_project(relations, restrict_to=partition.light_y)
-        state.light_pairs = output
-        self.detail["light_tuples"] = len(output)
+            blocks.append(star_expansion_block(relations, restrict_to=partition.light_y))
+        # Raw sub-join expansions concatenate; one dedup covers within- and
+        # cross-sub-join duplicates alike.
+        state.light_block = PairBlock.concat_all(blocks, arity=arity).dedup()
+        self.detail["light_tuples"] = len(state.light_block)
 
 
 class MatMulHeavy(PhysicalOperator):
@@ -255,6 +308,7 @@ class MatMulHeavy(PhysicalOperator):
     def __init__(self, registry: BackendRegistry) -> None:
         super().__init__()
         self.registry = registry
+        self._counts_in_bytes = 0  # heavy-restricted relations, set by _run_counts
 
     def run(self, state: ExecutionState) -> None:
         if state.strategy == "wcoj":
@@ -271,6 +325,18 @@ class MatMulHeavy(PhysicalOperator):
             self._run_pairs(state)
         self.detail["backend"] = state.backend_name
         self.detail["matrix_dims"] = state.matrix_dims
+        out_bytes = (
+            state.heavy_counted.nbytes if state.mode == MODE_COUNTS
+            else state.heavy_block.nbytes
+        )
+        partition = state.partition
+        if state.mode == MODE_STAR:
+            in_bytes = _relation_bytes(partition.heavy)
+        elif state.mode == MODE_COUNTS:
+            in_bytes = self._counts_in_bytes
+        else:
+            in_bytes = _relation_bytes([partition.r_heavy, partition.s_heavy])
+        self.record_memory(in_bytes, out_bytes)
 
     def _select(self, state: ExecutionState, dims: Tuple[int, int, int],
                 nnz_left: int, nnz_right: int):
@@ -290,14 +356,14 @@ class MatMulHeavy(PhysicalOperator):
         backend = self._select(
             state, dims, len(partition.r_heavy), len(partition.s_heavy)
         )
-        pairs, build_seconds, multiply_seconds = backend.heavy_pairs(
+        block, build_seconds, multiply_seconds = backend.heavy_pairs(
             partition.r_heavy, partition.s_heavy, rows, mids, cols,
             cores=state.config.cores,
         )
-        state.heavy_pairs = pairs
+        state.heavy_block = block
         self.detail["build_seconds"] = build_seconds
         self.detail["multiply_seconds"] = multiply_seconds
-        self.detail["heavy_pairs"] = len(pairs)
+        self.detail["heavy_pairs"] = len(block)
 
     def _run_counts(self, state: ExecutionState) -> None:
         partition = state.partition
@@ -310,19 +376,20 @@ class MatMulHeavy(PhysicalOperator):
         left, right = state.relations
         left_heavy = left.restrict_y(heavy_y, name=f"{left.name}+")
         right_heavy = right.restrict_y(heavy_y, name=f"{right.name}+")
+        self._counts_in_bytes = _relation_bytes([left_heavy, right_heavy])
         rows = left_heavy.x_values()
         cols = right_heavy.x_values()
         dims = (int(rows.size), int(heavy_y.size), int(cols.size))
         state.matrix_dims = dims
         backend = self._select(state, dims, len(left_heavy), len(right_heavy))
-        counts, build_seconds, multiply_seconds = backend.heavy_counts(
+        counted, build_seconds, multiply_seconds = backend.heavy_counts(
             left_heavy, right_heavy, rows, heavy_y, cols,
             cores=state.config.cores,
         )
-        state.heavy_counts = counts
+        state.heavy_counted = counted
         self.detail["build_seconds"] = build_seconds
         self.detail["multiply_seconds"] = multiply_seconds
-        self.detail["heavy_pairs"] = len(counts)
+        self.detail["heavy_pairs"] = len(counted)
 
     def _run_star(self, state: ExecutionState) -> None:
         partition = state.partition
@@ -334,10 +401,10 @@ class MatMulHeavy(PhysicalOperator):
         rows_a, matrix_a = _group_matrix(heavy_relations, list(range(split)), heavy_y)
         rows_b, matrix_b = _group_matrix(heavy_relations, list(range(split, k)), heavy_y)
         build_seconds = time.perf_counter() - build_start
-        dims = (len(rows_a), int(heavy_y.size), len(rows_b))
+        dims = (rows_a.shape[0], int(heavy_y.size), rows_b.shape[0])
         state.matrix_dims = dims
         self.detail["build_seconds"] = build_seconds
-        if not rows_a or not rows_b:
+        if rows_a.shape[0] == 0 or rows_b.shape[0] == 0:
             self.detail["multiply_seconds"] = 0.0
             return
         nnz_a = int(matrix_a.sum())
@@ -346,60 +413,88 @@ class MatMulHeavy(PhysicalOperator):
         multiply_start = time.perf_counter()
         product = backend.multiply_dense(matrix_a, matrix_b.T, cores=state.config.cores)
         hit_rows, hit_cols = np.nonzero(np.asarray(product) > 0.5)
-        output: Set[HeadTuple] = set()
-        for r, c in zip(hit_rows, hit_cols):
-            output.add(rows_a[int(r)] + rows_b[int(c)])
-        state.heavy_pairs = output
+        # Head tuples are column gathers from the two grouped row tables —
+        # cells of a product are unique, so the block is born deduplicated.
+        head_a = rows_a[hit_rows]
+        head_b = rows_b[hit_cols]
+        state.heavy_block = PairBlock(
+            tuple(head_a[:, j] for j in range(head_a.shape[1]))
+            + tuple(head_b[:, j] for j in range(head_b.shape[1])),
+            deduped=True,
+        )
         self.detail["multiply_seconds"] = time.perf_counter() - multiply_start
-        self.detail["heavy_tuples"] = len(output)
+        self.detail["heavy_tuples"] = len(state.heavy_block)
 
 
 class DedupMerge(PhysicalOperator):
-    """Merge the light and heavy outputs, deduplicating across the two."""
+    """Merge the light and heavy outputs, deduplicating across the two.
+
+    One columnar pass: concatenate the two phase blocks and run a single
+    packed-key ``np.unique``.  Under MODE_COUNTS the per-pair witness counts
+    are aggregated with ``np.add.at`` over the packed keys (the light and
+    heavy witness populations are disjoint, so the sums are exact; counts are
+    int64 end-to-end thanks to the float64 widening guard in the matmul
+    layer).
+    """
 
     name = "dedup_merge"
 
     def run(self, state: ExecutionState) -> None:
         if state.mode == MODE_COUNTS:
-            counts = dict(state.light_counts)
-            for key, value in state.heavy_counts.items():
-                counts[key] = counts.get(key, 0) + value
-            state.counts = counts
-            state.pairs = set(counts)
+            light, heavy = state.light_counted, state.heavy_counted
+            # Either phase may be empty (wcoj strategy, empty residual); its
+            # survivor is already aggregated, so skip the re-sort.
+            if len(heavy) == 0:
+                merged = light if light.deduped else light.dedup(reduce="sum")
+            elif len(light) == 0:
+                merged = heavy if heavy.deduped else heavy.dedup(reduce="sum")
+            else:
+                merged = light.concat(heavy).dedup(reduce="sum")
+            state.result_counted = merged
+            state.result_block = merged.pairs_block()
+            self.record_memory(light.nbytes + heavy.nbytes, merged.nbytes)
         else:
-            state.pairs = state.light_pairs | state.heavy_pairs
-            overlap = len(state.light_pairs) + len(state.heavy_pairs) - len(state.pairs)
-            self.detail["overlap"] = overlap
-        self.detail["output_size"] = len(state.pairs)
+            light, heavy = state.light_block, state.heavy_block
+            if len(heavy) == 0:
+                merged = light if light.deduped else light.dedup()
+            elif len(light) == 0:
+                merged = heavy if heavy.deduped else heavy.dedup()
+            else:
+                merged = light.concat(heavy).dedup()
+            state.result_block = merged
+            # Both phase blocks are deduplicated, so the shrink is the
+            # cross-phase overlap.
+            self.detail["overlap"] = len(light) + len(heavy) - len(merged)
+            self.record_memory(light.nbytes + heavy.nbytes, merged.nbytes)
+        self.detail["output_size"] = state.output_size
 
 
 # --------------------------------------------------------------------------- #
 # Shared helpers
 # --------------------------------------------------------------------------- #
-def _probe_chunk(args: Tuple[Relation, Dict[int, np.ndarray], bool]) -> Set[Pair]:
-    """Worker task: probe one relation chunk against a prebuilt index."""
-    relation, other_index, flip = args
-    local: Set[Pair] = set()
-    for x, y in zip(relation.xs, relation.ys):
-        partners = other_index.get(int(y))
-        if partners is None:
-            continue
-        xi = int(x)
-        for z in partners:
-            local.add((int(z), xi) if flip else (xi, int(z)))
-    return local
+def _probe_chunk(args: Tuple[Relation, Relation, bool]) -> PairBlock:
+    """Worker task: chunked vectorized probe of one relation slice.
+
+    Each worker returns a deduplicated block whose construction never holds
+    more than one expansion chunk of raw rows — peak memory per worker is
+    output-sensitive, as the old set-based probe was.
+    """
+    chunk, other, flip = args
+    return deduped_probe_block(chunk.xs, chunk.ys, other, flip=flip)
 
 
 def _group_matrix(
-    heavy_relations: Sequence[Relation],
-    group: Sequence[int],
+    heavy_relations: List[Relation],
+    group: List[int],
     heavy_y: np.ndarray,
-) -> Tuple[List[HeadTuple], np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray]:
     """Build the grouped adjacency matrix for one half of the star head.
 
     Candidate head combinations are discovered per heavy witness (so only
     combinations that actually co-occur appear as rows), then each row is
-    marked against every heavy witness it is fully connected to.
+    marked against every heavy witness it is fully connected to.  Returns
+    the head combinations as an ``(n, |group|)`` int64 row table plus the
+    0/1 matrix.
     """
     indexes = [heavy_relations[i].index_y() for i in group]
 
@@ -417,25 +512,19 @@ def _group_matrix(
             neighbour_lists.append(values)
         if missing:
             continue
-        combos = _cartesian_arrays(neighbour_lists)
+        combos = cartesian_arrays(neighbour_lists)
         combo_blocks.append(combos)
         column_blocks.append(np.full(combos.shape[0], j, dtype=np.int64))
 
     if not combo_blocks:
-        return [], np.zeros((0, heavy_y.size), dtype=np.float32)
+        return (
+            np.empty((0, len(group)), dtype=np.int64),
+            np.zeros((0, heavy_y.size), dtype=np.float32),
+        )
 
     all_combos = np.concatenate(combo_blocks, axis=0)
     all_columns = np.concatenate(column_blocks)
     unique_rows, inverse = np.unique(all_combos, axis=0, return_inverse=True)
     matrix = np.zeros((unique_rows.shape[0], heavy_y.size), dtype=np.float32)
-    matrix[inverse, all_columns] = 1.0
-    rows = [tuple(int(v) for v in row) for row in unique_rows]
-    return rows, matrix
-
-
-def _cartesian_arrays(lists: List[np.ndarray]) -> np.ndarray:
-    """Cartesian product of 1-D integer arrays as an (n, k) array."""
-    if len(lists) == 1:
-        return lists[0].reshape(-1, 1)
-    grids = np.meshgrid(*lists, indexing="ij")
-    return np.stack([g.ravel() for g in grids], axis=1)
+    matrix[inverse.reshape(-1), all_columns] = 1.0
+    return unique_rows, matrix

@@ -2,9 +2,14 @@
 
 A :class:`~repro.plan.planner.PhysicalPlan` owns one :class:`ExecutionState`
 per execution; each operator reads the fields earlier operators populated and
-writes its own.  The state also carries the per-phase timings dictionary the
-legacy result objects (:class:`~repro.core.two_path.MMJoinResult`,
-:class:`~repro.core.star.StarJoinResult`) expose.
+writes its own.  Results move between operators exclusively as columnar
+blocks (:class:`~repro.data.pairblock.PairBlock`, and
+:class:`~repro.data.pairblock.CountedPairBlock` under MODE_COUNTS) — Python
+sets and dicts exist only behind the lazy boundary properties
+(:attr:`ExecutionState.pairs`, :attr:`ExecutionState.counts`, ...) that the
+engines, the CLI and the legacy result objects
+(:class:`~repro.core.two_path.MMJoinResult`,
+:class:`~repro.core.star.StarJoinResult`) consume.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import numpy as np
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
 from repro.core.optimizer import OptimizerDecision
+from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.relation import Relation
 
 HeadTuple = Tuple[int, ...]
@@ -36,7 +42,7 @@ class CountingPartition:
     """
 
     heavy_y: np.ndarray
-    light_y: List[int]
+    light_y: np.ndarray
     delta1: int
 
 
@@ -56,30 +62,65 @@ class ExecutionState:
     delta1: int = 0
     delta2: int = 0
 
-    # Populated by CombinatorialLight / MatMulHeavy.
-    light_pairs: Set[HeadTuple] = field(default_factory=set)
-    light_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
-    heavy_pairs: Set[HeadTuple] = field(default_factory=set)
-    heavy_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    # Populated by CombinatorialLight / MatMulHeavy (columnar, deduplicated
+    # per phase; the two phases may still overlap with each other).
+    light_block: PairBlock = field(default_factory=PairBlock.empty)
+    heavy_block: PairBlock = field(default_factory=PairBlock.empty)
+    light_counted: CountedPairBlock = field(default_factory=CountedPairBlock.empty)
+    heavy_counted: CountedPairBlock = field(default_factory=CountedPairBlock.empty)
     matrix_dims: Tuple[int, int, int] = (0, 0, 0)
     backend_name: str = "dense"
 
     # Populated by DedupMerge (or by SemijoinReduce on empty inputs).
-    pairs: Set[HeadTuple] = field(default_factory=set)
-    counts: Optional[Dict[Tuple[int, int], int]] = None
+    result_block: Optional[PairBlock] = None
+    result_counted: Optional[CountedPairBlock] = None
 
     # Control flow and bookkeeping.
     done: bool = False
     timings: Dict[str, float] = field(default_factory=dict)
 
+    # Lazy boundary caches (never touched by operators).
+    _pairs_cache: Optional[Set[HeadTuple]] = field(default=None, init=False, repr=False)
+    _counts_cache: Optional[Dict[Tuple[int, int], int]] = field(
+        default=None, init=False, repr=False
+    )
+
     def finish_empty(self) -> None:
         """Short-circuit the pipeline with an empty result (dangling inputs)."""
         self.done = True
         self.strategy = "wcoj"
-        self.pairs = set()
+        self.result_block = PairBlock.empty()
         if self.mode == MODE_COUNTS:
-            self.counts = {}
+            self.result_counted = CountedPairBlock.empty()
 
     @property
     def with_counts(self) -> bool:
         return self.mode == MODE_COUNTS
+
+    @property
+    def output_size(self) -> int:
+        """Number of distinct output tuples (no set materialisation)."""
+        if self.result_block is None:
+            return 0
+        return len(self.result_block)
+
+    # ------------------------------------------------------------------ #
+    # Boundary properties: Python sets/dicts materialise here, lazily, and
+    # only for consumers outside the operator pipeline.
+    # ------------------------------------------------------------------ #
+    @property
+    def pairs(self) -> Set[HeadTuple]:
+        """The merged output as a Python set (lazy boundary conversion)."""
+        if self._pairs_cache is None:
+            block = self.result_block
+            self._pairs_cache = block.to_set() if block is not None else set()
+        return self._pairs_cache
+
+    @property
+    def counts(self) -> Optional[Dict[Tuple[int, int], int]]:
+        """Witness counts as ``{(x, z): n}`` (lazy boundary conversion)."""
+        if self.result_counted is None:
+            return None
+        if self._counts_cache is None:
+            self._counts_cache = self.result_counted.to_dict()
+        return self._counts_cache

@@ -7,27 +7,300 @@ heavy parts are evaluated with combinatorial expansion, i.e. no matrix
 multiplication.  This is the strongest baseline the paper compares MMJoin
 against (labelled ``Non-MMJoin`` in every figure).
 
-For practical purposes the combinatorial algorithm is: for every x value,
-merge the inverted lists of its y neighbours and deduplicate.  The degree
-threshold only changes *how* the dedup is performed (counter array vs sort),
-which :class:`~repro.joins.project.Deduplicator` already handles, so the
-implementation here is a tight loop over x values with an output-sensitive
-amount of work per value.
+The hot path is columnar: :func:`probe_pairs_block` expands probe tuples
+against the other relation's y-sorted layout with ``searchsorted`` + index
+gathers into preallocated arrays (no per-tuple Python), and the block-native
+variants (:func:`combinatorial_two_path_block`,
+:func:`combinatorial_two_path_counted`, :func:`combinatorial_star_block`)
+deduplicate with one packed-key ``np.unique`` over the resulting
+:class:`~repro.data.pairblock.PairBlock`.  The set-returning public functions
+are thin boundary wrappers kept for the baseline engines and the ablation
+benchmarks; the legacy per-x :class:`~repro.joins.project.Deduplicator` loop
+survives only for the explicit ``hash`` / ``counter`` dedup strategies the
+Figure 8 ablation isolates.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.relation import Relation
 from repro.joins.leapfrog import leapfrog_intersection
 from repro.joins.project import Deduplicator
 
 Pair = Tuple[int, int]
 
+# Cap on raw expansion rows materialised at once (two int64 columns per row:
+# ~64 MB per chunk).  Chunking keeps the peak memory of the full combinatorial
+# expansion output-sensitive — each chunk is deduplicated (or count-aggregated)
+# before the next one is built — matching the old per-x loop's memory profile
+# while staying fully vectorized.
+EXPANSION_CHUNK_ROWS = 1 << 22
 
+
+def _probe_slices(
+    probe_ys: np.ndarray, other: Relation, chunk_rows: int
+) -> List[slice]:
+    """Split probe tuples into slices whose expansions stay under chunk_rows.
+
+    A single probe tuple always forms a valid slice even when its own
+    expansion exceeds the cap (it cannot be split further).
+    """
+    if probe_ys.size == 0:
+        return []
+    other_ys, _ = other.sorted_by_y()
+    counts = (
+        np.searchsorted(other_ys, probe_ys, side="right")
+        - np.searchsorted(other_ys, probe_ys, side="left")
+    )
+    cum = np.cumsum(counts)
+    if int(cum[-1]) <= chunk_rows:
+        return [slice(0, probe_ys.size)]
+    slices: List[slice] = []
+    start = 0
+    consumed = 0
+    while start < probe_ys.size:
+        # Last probe whose cumulative expansion still fits under the cap;
+        # the max() guard guarantees progress when a single probe exceeds it.
+        stop = int(np.searchsorted(cum, consumed + chunk_rows, side="right"))
+        stop = min(max(stop, start + 1), probe_ys.size)
+        slices.append(slice(start, stop))
+        consumed = int(cum[stop - 1])
+        start = stop
+    return slices
+
+
+# --------------------------------------------------------------------------- #
+# Columnar expansion primitives
+# --------------------------------------------------------------------------- #
+def probe_pairs_block(
+    probe_xs: np.ndarray,
+    probe_ys: np.ndarray,
+    other: Relation,
+    flip: bool = False,
+) -> PairBlock:
+    """Expand probe tuples ``(x, y)`` against ``other``'s y-partners.
+
+    For every probe tuple the partners ``z`` with ``(z, y) in other`` are
+    located via ``searchsorted`` over ``other``'s cached y-sorted columns and
+    gathered with one ragged-range index expression — the per-tuple Python
+    loop of the old light join reduced to a handful of vectorized NumPy
+    calls.  Rows are ``(x, z)``, or ``(z, x)`` when ``flip`` is set (probing
+    from the S side of the two-path query).  The result may contain
+    duplicate rows; deduplication happens once, downstream.
+    """
+    probe_xs = np.asarray(probe_xs, dtype=np.int64)
+    probe_ys = np.asarray(probe_ys, dtype=np.int64)
+    if probe_xs.size == 0 or len(other) == 0:
+        return PairBlock.empty(2)
+    other_ys, other_xs = other.sorted_by_y()
+    lo = np.searchsorted(other_ys, probe_ys, side="left")
+    hi = np.searchsorted(other_ys, probe_ys, side="right")
+    counts = hi - lo
+    hit = counts > 0
+    if not hit.any():
+        return PairBlock.empty(2)
+    xs, lo, counts = probe_xs[hit], lo[hit], counts[hit]
+    total = int(counts.sum())
+    out_x = np.repeat(xs, counts)
+    starts = np.cumsum(counts) - counts
+    gather = np.arange(total, dtype=np.int64) - np.repeat(starts, counts) + np.repeat(lo, counts)
+    out_z = other_xs[gather]
+    return PairBlock((out_z, out_x) if flip else (out_x, out_z))
+
+
+def deduped_probe_block(
+    probe_xs: np.ndarray,
+    probe_ys: np.ndarray,
+    other: Relation,
+    flip: bool = False,
+    chunk_rows: int = EXPANSION_CHUNK_ROWS,
+) -> PairBlock:
+    """Chunked, deduplicated probe expansion (distinct pairs only).
+
+    Each expansion chunk is deduplicated before the next is built, so peak
+    memory tracks the distinct output rather than the raw witness count —
+    the columnar analogue of the old set-based probe's memory profile.
+    """
+    probe_xs = np.asarray(probe_xs, dtype=np.int64)
+    probe_ys = np.asarray(probe_ys, dtype=np.int64)
+    if probe_xs.size == 0 or len(other) == 0:
+        return PairBlock.empty(2)
+    parts = [
+        probe_pairs_block(probe_xs[sl], probe_ys[sl], other, flip=flip).dedup()
+        for sl in _probe_slices(probe_ys, other, chunk_rows)
+    ]
+    if not parts:
+        return PairBlock.empty(2)
+    if len(parts) == 1:
+        return parts[0]
+    return PairBlock.concat_all(parts).dedup()
+
+
+def combinatorial_two_path_block(
+    left: Relation,
+    right: Relation,
+    dedup_strategy: str = "auto",
+    chunk_rows: int = EXPANSION_CHUNK_ROWS,
+) -> PairBlock:
+    """Block-native ``pi_{x,z}(R |><| S)``: chunked expansion + dedup.
+
+    ``auto`` and ``sort`` run fully columnar, deduplicating per expansion
+    chunk so peak memory tracks the output, not the full join; the explicit
+    ``hash`` and ``counter`` strategies fall back to the per-x
+    :class:`Deduplicator` loop (they exist for the dedup-strategy ablation)
+    and convert at the end.
+    """
+    if len(left) == 0 or len(right) == 0:
+        return PairBlock.empty(2)
+    if dedup_strategy not in ("auto", "sort"):
+        return PairBlock.from_pairs(
+            _two_path_dedup_loop(left, right, dedup_strategy)
+        ).dedup()
+    return deduped_probe_block(left.xs, left.ys, right, chunk_rows=chunk_rows)
+
+
+def counted_probe_block(
+    probe_xs: np.ndarray,
+    probe_ys: np.ndarray,
+    other: Relation,
+    chunk_rows: int = EXPANSION_CHUNK_ROWS,
+) -> CountedPairBlock:
+    """Chunked witness-counting expansion of probe tuples against ``other``.
+
+    Every expanded ``(x, y, z)`` triple is one witness; the packed-key
+    ``np.add.at`` aggregation of :meth:`CountedPairBlock.dedup` turns the raw
+    expansion into exact per-pair counts.  Expansion chunks aggregate
+    independently (they partition the witnesses) and their counts sum in the
+    final merge, so peak memory stays output-sensitive.
+    """
+    probe_xs = np.asarray(probe_xs, dtype=np.int64)
+    probe_ys = np.asarray(probe_ys, dtype=np.int64)
+    if probe_xs.size == 0 or len(other) == 0:
+        return CountedPairBlock.empty(2)
+    merged: CountedPairBlock | None = None
+    for sl in _probe_slices(probe_ys, other, chunk_rows):
+        expansion = probe_pairs_block(probe_xs[sl], probe_ys[sl], other)
+        part = CountedPairBlock.from_expansion(expansion).dedup()
+        merged = part if merged is None else merged.concat(part)
+    if merged is None:
+        return CountedPairBlock.empty(2)
+    return merged if merged.deduped else merged.dedup(reduce="sum")
+
+
+def combinatorial_two_path_counted(
+    left: Relation,
+    right: Relation,
+    chunk_rows: int = EXPANSION_CHUNK_ROWS,
+) -> CountedPairBlock:
+    """Witness-counting two-path expansion as a :class:`CountedPairBlock`."""
+    if len(left) == 0 or len(right) == 0:
+        return CountedPairBlock.empty(2)
+    return counted_probe_block(left.xs, left.ys, right, chunk_rows=chunk_rows)
+
+
+def star_expansion_block(
+    relations: Sequence[Relation],
+    restrict_to: np.ndarray | None = None,
+    chunk_rows: int = EXPANSION_CHUNK_ROWS,
+) -> PairBlock:
+    """Shared-y cartesian expansion of the star query.
+
+    ``restrict_to`` optionally narrows the join variable to a subset of the
+    ``y`` domain — the form the MMJoin light sub-joins need.  The result may
+    still contain duplicate rows (callers deduplicate, possibly after
+    concatenating several sub-joins), but accumulated expansion chunks are
+    compacted with an intermediate dedup whenever they exceed ``chunk_rows``,
+    keeping peak memory output-sensitive.
+    """
+    if not relations or any(len(r) == 0 for r in relations):
+        return PairBlock.empty(max(len(relations), 1))
+    arity = len(relations)
+    pending: List[np.ndarray] = []
+    pending_rows = 0
+    compacted: List[PairBlock] = []
+    for lists in _star_neighbour_lists(relations, restrict_to):
+        combos = cartesian_arrays(lists)
+        pending.append(combos)
+        pending_rows += combos.shape[0]
+        if pending_rows >= chunk_rows:
+            compacted.append(
+                PairBlock.from_array(np.concatenate(pending, axis=0)).dedup()
+            )
+            pending, pending_rows = [], 0
+    if pending:
+        compacted.append(PairBlock.from_array(np.concatenate(pending, axis=0)))
+    return PairBlock.concat_all(compacted, arity=arity)
+
+
+def star_counted_block(
+    relations: Sequence[Relation],
+    chunk_rows: int = EXPANSION_CHUNK_ROWS,
+) -> CountedPairBlock:
+    """Witness-counting star expansion (one count per shared-y combination).
+
+    Count aggregation happens per expansion chunk (chunks partition the
+    witnesses) and the chunk counts sum in the final merge — the star
+    equivalent of :func:`combinatorial_two_path_counted`.
+    """
+    if not relations or any(len(r) == 0 for r in relations):
+        return CountedPairBlock.empty(max(len(relations), 1))
+    pending: List[np.ndarray] = []
+    pending_rows = 0
+    merged: CountedPairBlock | None = None
+
+    def flush(rows: List[np.ndarray], acc: CountedPairBlock | None) -> CountedPairBlock:
+        expansion = PairBlock.from_array(np.concatenate(rows, axis=0))
+        part = CountedPairBlock.from_expansion(expansion).dedup()
+        return part if acc is None else acc.concat(part)
+
+    for lists in _star_neighbour_lists(relations, None):
+        combos = cartesian_arrays(lists)
+        pending.append(combos)
+        pending_rows += combos.shape[0]
+        if pending_rows >= chunk_rows:
+            merged = flush(pending, merged)
+            pending, pending_rows = [], 0
+    if pending:
+        merged = flush(pending, merged)
+    if merged is None:
+        return CountedPairBlock.empty(len(relations))
+    return merged if merged.deduped else merged.dedup(reduce="sum")
+
+
+def _star_neighbour_lists(
+    relations: Sequence[Relation], restrict_to: np.ndarray | None
+):
+    """Yield the per-relation neighbour lists of every shared ``y`` value."""
+    y_domains = [r.y_values() for r in relations]
+    shared_ys = leapfrog_intersection(y_domains)
+    if restrict_to is not None:
+        allowed = np.unique(np.asarray(restrict_to, dtype=np.int64))
+        shared_ys = leapfrog_intersection([shared_ys, allowed])
+    indexes = [r.index_y() for r in relations]
+    for y in shared_ys:
+        yield [idx[int(y)] for idx in indexes]
+
+
+def combinatorial_star_block(relations: Sequence[Relation]) -> PairBlock:
+    """Block-native projected star query (shared-y cartesian expansion)."""
+    return star_expansion_block(relations).dedup()
+
+
+def cartesian_arrays(lists: Sequence[np.ndarray]) -> np.ndarray:
+    """Cartesian product of 1-D integer arrays as an (n, k) array."""
+    if len(lists) == 1:
+        return np.asarray(lists[0], dtype=np.int64).reshape(-1, 1)
+    grids = np.meshgrid(*lists, indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1).astype(np.int64, copy=False)
+
+
+# --------------------------------------------------------------------------- #
+# Set-based boundary wrappers (public baseline API)
+# --------------------------------------------------------------------------- #
 def combinatorial_two_path(
     left: Relation,
     right: Relation,
@@ -36,38 +309,29 @@ def combinatorial_two_path(
 ) -> Set[Pair] | Dict[Pair, int]:
     """Output-sensitive combinatorial evaluation of ``pi_{x,z}(R |><| S)``.
 
-    For each x value of ``left``, the inverted lists ``L[b]`` of ``right`` for
-    every neighbour ``b`` are merged and deduplicated.  Work per x value is
-    proportional to the number of (y, z) expansions, which is exactly the
-    quantity the paper's ``sum``/``cdfx`` indexes estimate.
+    Boundary wrapper over the columnar expansion: returns a Python set (or
+    ``{(x, z): #witnesses}`` when ``with_counts`` is set) for the baseline
+    engines and tests.
 
     Parameters
     ----------
     dedup_strategy:
-        Passed to :class:`Deduplicator` (``hash``, ``sort``, ``counter`` or
-        ``auto``).
+        ``auto`` / ``sort`` run the columnar path; ``hash`` / ``counter``
+        keep the legacy per-x :class:`Deduplicator` loop for the ablation.
     with_counts:
         When true, return ``{(x, z): #witnesses}`` instead of a plain set.
     """
-    if len(left) == 0 or len(right) == 0:
-        return {} if with_counts else set()
+    if with_counts:
+        return combinatorial_two_path_counted(left, right).to_dict()
+    return combinatorial_two_path_block(left, right, dedup_strategy).to_set()
+
+
+def _two_path_dedup_loop(
+    left: Relation, right: Relation, dedup_strategy: str
+) -> Set[Pair]:
+    """Legacy per-x merge loop, kept for the explicit dedup-strategy ablation."""
     left_index = left.index_x()
     right_index = right.index_y()
-    if with_counts:
-        counts: Dict[Pair, int] = {}
-        for x, ys in left_index.items():
-            local: Dict[int, int] = {}
-            for y in ys:
-                partners = right_index.get(int(y))
-                if partners is None:
-                    continue
-                for z in partners:
-                    zi = int(z)
-                    local[zi] = local.get(zi, 0) + 1
-            for z, c in local.items():
-                counts[(int(x), z)] = c
-        return counts
-
     z_domain = int(right.x_values().max()) + 1 if len(right) else 0
     dedup = Deduplicator(domain_size=z_domain, strategy=dedup_strategy)
     output: Set[Pair] = set()
@@ -92,27 +356,15 @@ def combinatorial_star(
     """Output-sensitive combinatorial evaluation of the projected star query.
 
     Enumerates shared ``y`` values (worst-case optimal choice of the first
-    variable) and expands the cartesian product of neighbour lists, with
-    on-the-fly dedup of head tuples.  The running time matches Lemma 2's
-    ``O(|D| * |OUT|^{1 - 1/k})`` shape on skew-free inputs.
+    variable) and expands the cartesian product of neighbour lists; the
+    running time matches Lemma 2's ``O(|D| * |OUT|^{1 - 1/k})`` shape on
+    skew-free inputs.  Boundary wrapper returning Python collections.
     """
     if not relations or any(len(r) == 0 for r in relations):
         return {} if with_counts else set()
-    y_domains = [r.y_values() for r in relations]
-    shared_ys = leapfrog_intersection(y_domains)
-    indexes = [r.index_y() for r in relations]
     if with_counts:
-        counts: Dict[Tuple[int, ...], int] = {}
-        for y in shared_ys:
-            lists = [idx[int(y)] for idx in indexes]
-            for head in _product(lists):
-                counts[head] = counts.get(head, 0) + 1
-        return counts
-    output: Set[Tuple[int, ...]] = set()
-    for y in shared_ys:
-        lists = [idx[int(y)] for idx in indexes]
-        output.update(_product(lists))
-    return output
+        return star_counted_block(relations).to_dict()
+    return combinatorial_star_block(relations).to_set()
 
 
 def combinatorial_two_path_filtered(
@@ -142,13 +394,5 @@ def combinatorial_two_path_filtered(
 
 
 def _product(lists: List[np.ndarray]) -> Iterable[Tuple[int, ...]]:
-    """Cartesian product of numpy arrays as python int tuples."""
-    if not lists:
-        return [()]
-    if len(lists) == 1:
-        return [(int(v),) for v in lists[0]]
-    if len(lists) == 2:
-        return [(int(a), int(b)) for a in lists[0] for b in lists[1]]
-    head, *tail = lists
-    rest = list(_product(tail))
-    return [(int(a),) + r for a in head for r in rest]
+    """Cartesian product of numpy arrays as python int tuples (legacy helper)."""
+    return map(tuple, cartesian_arrays(lists).tolist()) if lists else [()]

@@ -15,6 +15,8 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.data.pairblock import CountedPairBlock, PairBlock
+
 Pair = Tuple[int, int]
 
 DEDUP_STRATEGIES = ("hash", "sort", "counter", "auto")
@@ -103,21 +105,27 @@ def dedup_tuples(tuples: Iterable[Tuple[int, ...]]) -> Set[Tuple[int, ...]]:
 
 
 def sort_dedup_pairs(pairs: Sequence[Pair]) -> List[Pair]:
-    """Sort-based deduplication of a materialised pair list."""
+    """Sort-based deduplication of a materialised pair list.
+
+    Routed through the columnar :class:`~repro.data.pairblock.PairBlock`
+    (one packed-key ``np.unique`` in canonical order).
+    """
     if not pairs:
         return []
-    arr = np.asarray(pairs, dtype=np.int64)
-    uniq = np.unique(arr, axis=0)
-    return [(int(a), int(b)) for a, b in uniq]
+    return list(PairBlock.from_pairs(pairs).dedup())
 
 
 def project_join_counts(full_join: Iterable[Tuple[int, int, int]]) -> Dict[Pair, int]:
-    """Project (x, y, z) tuples onto (x, z) and count witnesses."""
-    counts: Dict[Pair, int] = {}
-    for x, _y, z in full_join:
-        key = (int(x), int(z))
-        counts[key] = counts.get(key, 0) + 1
-    return counts
+    """Project (x, y, z) tuples onto (x, z) and count witnesses.
+
+    The (x, z) expansion is aggregated columnar (``np.add.at`` over packed
+    keys) instead of a per-tuple Python dict accumulation.
+    """
+    rows = np.asarray(list(full_join), dtype=np.int64)
+    if rows.size == 0:
+        return {}
+    expansion = PairBlock((rows[:, 0], rows[:, 2]))
+    return CountedPairBlock.from_expansion(expansion).dedup().to_dict()
 
 
 def merge_pair_sets(*sets: Set[Pair]) -> Set[Pair]:

@@ -6,6 +6,8 @@ from repro.matmul.dense import (
     boolean_matmul,
     count_matmul,
     build_adjacency,
+    nonzero_block,
+    nonzero_counted_block,
     nonzero_pairs,
 )
 from repro.matmul.sparse import sparse_count_matmul, sparse_boolean_matmul, build_sparse_adjacency
@@ -25,6 +27,8 @@ __all__ = [
     "boolean_matmul",
     "count_matmul",
     "build_adjacency",
+    "nonzero_block",
+    "nonzero_counted_block",
     "nonzero_pairs",
     "sparse_count_matmul",
     "sparse_boolean_matmul",

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.relation import Relation
 
 Pair = Tuple[int, int]
@@ -152,6 +153,44 @@ def nonzero_pairs_with_counts(
         (int(row_arr[r]), int(col_arr[c])): int(round(float(product[r, c])))
         for r, c in zip(rows, cols)
     }
+
+
+def nonzero_block(
+    product: np.ndarray,
+    row_values: Sequence[int],
+    col_values: Sequence[int],
+    threshold: float = 0.5,
+) -> PairBlock:
+    """Output pairs above ``threshold`` as a columnar :class:`PairBlock`.
+
+    The non-zero coordinates of the product are gathered straight into the
+    block's column arrays — no per-pair Python tuples.  Cells of a matrix are
+    unique, so the block is born deduplicated.
+    """
+    rows, cols = np.nonzero(np.asarray(product) > threshold)
+    row_arr = np.asarray(row_values, dtype=np.int64)
+    col_arr = np.asarray(col_values, dtype=np.int64)
+    return PairBlock((row_arr[rows], col_arr[cols]), deduped=True)
+
+
+def nonzero_counted_block(
+    product: np.ndarray,
+    row_values: Sequence[int],
+    col_values: Sequence[int],
+    threshold: float = 0.5,
+) -> CountedPairBlock:
+    """Like :func:`nonzero_block` but carrying the witness counts.
+
+    The product may be float32 or (past the 2^24 overflow guard) float64;
+    either way the entries are exact integers, so ``np.rint`` recovers the
+    counts losslessly into the block's int64 count column.
+    """
+    arr = np.asarray(product)
+    rows, cols = np.nonzero(arr > threshold)
+    row_arr = np.asarray(row_values, dtype=np.int64)
+    col_arr = np.asarray(col_values, dtype=np.int64)
+    counts = np.rint(arr[rows, cols]).astype(np.int64)
+    return CountedPairBlock((row_arr[rows], col_arr[cols]), counts, deduped=True)
 
 
 def naive_matmul(left: np.ndarray, right: np.ndarray) -> np.ndarray:

@@ -29,6 +29,7 @@ from typing import Dict, Iterator, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.config import MMJoinConfig
+from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.relation import Relation
 from repro.matmul import dense as dense_mm
 from repro.matmul import sparse as sparse_mm
@@ -86,13 +87,13 @@ class MatMulBackend(abc.ABC):
         """Multiply operands produced by :meth:`build_operands`."""
         return self.multiply_dense(m1, m2, cores=cores)
 
-    def extract_pairs(self, product, rows, cols, threshold: float) -> Set[Pair]:
-        """Output pairs from a product in this backend's native layout."""
-        return set(dense_mm.nonzero_pairs(product, rows, cols, threshold=threshold))
+    def extract_pairs(self, product, rows, cols, threshold: float) -> PairBlock:
+        """Output pairs from a product as a columnar :class:`PairBlock`."""
+        return dense_mm.nonzero_block(product, rows, cols, threshold=threshold)
 
-    def extract_counts(self, product, rows, cols, threshold: float) -> Dict[Pair, int]:
-        """Witness counts from a product in this backend's native layout."""
-        return dense_mm.nonzero_pairs_with_counts(product, rows, cols, threshold=threshold)
+    def extract_counts(self, product, rows, cols, threshold: float) -> CountedPairBlock:
+        """Witness counts from a product as a :class:`CountedPairBlock`."""
+        return dense_mm.nonzero_counted_block(product, rows, cols, threshold=threshold)
 
     # -- heavy-residual evaluation (shared timed template) ----------------
     def heavy_pairs(
@@ -104,8 +105,8 @@ class MatMulBackend(abc.ABC):
         cols: Sequence[int],
         threshold: float = 0.5,
         cores: int = 1,
-    ) -> Tuple[Set[Pair], float, float]:
-        """Output pairs of the heavy residual plus (build, multiply) seconds."""
+    ) -> Tuple[PairBlock, float, float]:
+        """Output-pair block of the heavy residual plus (build, multiply) seconds."""
         return self._heavy(left_heavy, right_heavy, rows, mids, cols, threshold,
                            cores, self.extract_pairs)
 
@@ -118,8 +119,8 @@ class MatMulBackend(abc.ABC):
         cols: Sequence[int],
         threshold: float = 0.5,
         cores: int = 1,
-    ) -> Tuple[Dict[Pair, int], float, float]:
-        """Witness counts of the heavy residual plus (build, multiply) seconds."""
+    ) -> Tuple[CountedPairBlock, float, float]:
+        """Witness-count block of the heavy residual plus (build, multiply) seconds."""
         return self._heavy(left_heavy, right_heavy, rows, mids, cols, threshold,
                            cores, self.extract_counts)
 
@@ -173,25 +174,32 @@ class SparseBackend(MatMulBackend):
     def multiply_dense(self, left: np.ndarray, right: np.ndarray, cores: int = 1) -> np.ndarray:
         from scipy import sparse
 
+        # Same overflow guard as the dense kernel: counts are bounded by the
+        # inner dimension, so widen past float32's exact-integer range.
+        a = np.asarray(left)
+        dtype = dense_mm.accumulation_dtype(a.shape[1] if a.ndim == 2 else 0)
         product = sparse_mm.sparse_count_matmul(
-            sparse.csr_matrix(np.asarray(left, dtype=np.float32)),
-            sparse.csr_matrix(np.asarray(right, dtype=np.float32)),
+            sparse.csr_matrix(a.astype(dtype, copy=False)),
+            sparse.csr_matrix(np.asarray(right).astype(dtype, copy=False)),
         )
         return np.asarray(product.todense())
 
     def build_operands(self, left_heavy, right_heavy, rows, mids, cols):
-        m1 = sparse_mm.build_sparse_adjacency(left_heavy, rows, mids)
-        m2 = sparse_mm.build_sparse_adjacency(right_heavy, cols, mids).T
+        # Witness counts are bounded by the inner (mids) dimension; keep the
+        # CSR accumulation exact past float32's 2^24 integer range.
+        dtype = dense_mm.accumulation_dtype(len(mids))
+        m1 = sparse_mm.build_sparse_adjacency(left_heavy, rows, mids, dtype=dtype)
+        m2 = sparse_mm.build_sparse_adjacency(right_heavy, cols, mids, dtype=dtype).T
         return m1, m2
 
     def multiply(self, m1, m2, cores: int = 1):
         return sparse_mm.sparse_count_matmul(m1, m2)
 
-    def extract_pairs(self, product, rows, cols, threshold: float) -> Set[Pair]:
-        return set(sparse_mm.sparse_nonzero_pairs(product, rows, cols, threshold=threshold))
+    def extract_pairs(self, product, rows, cols, threshold: float) -> PairBlock:
+        return sparse_mm.sparse_nonzero_block(product, rows, cols, threshold=threshold)
 
-    def extract_counts(self, product, rows, cols, threshold: float) -> Dict[Pair, int]:
-        return sparse_mm.sparse_nonzero_pairs_with_counts(
+    def extract_counts(self, product, rows, cols, threshold: float) -> CountedPairBlock:
+        return sparse_mm.sparse_nonzero_counted_block(
             product, rows, cols, threshold=threshold
         )
 

@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.relation import Relation
 
 Pair = Tuple[int, int]
@@ -62,6 +63,39 @@ def sparse_boolean_matmul(
     product = sparse_count_matmul(left, right)
     product.data = np.minimum(product.data, 1.0)
     return product
+
+
+def sparse_nonzero_block(
+    product: sparse.spmatrix,
+    row_values: Sequence[int],
+    col_values: Sequence[int],
+    threshold: float = 0.5,
+) -> PairBlock:
+    """Output pairs above ``threshold`` as a columnar :class:`PairBlock`."""
+    coo = product.tocoo()
+    row_arr = np.asarray(row_values, dtype=np.int64)
+    col_arr = np.asarray(col_values, dtype=np.int64)
+    keep = coo.data > threshold
+    return PairBlock(
+        (row_arr[coo.row[keep]], col_arr[coo.col[keep]]), deduped=True
+    )
+
+
+def sparse_nonzero_counted_block(
+    product: sparse.spmatrix,
+    row_values: Sequence[int],
+    col_values: Sequence[int],
+    threshold: float = 0.5,
+) -> CountedPairBlock:
+    """Like :func:`sparse_nonzero_block` but with exact witness counts."""
+    coo = product.tocoo()
+    row_arr = np.asarray(row_values, dtype=np.int64)
+    col_arr = np.asarray(col_values, dtype=np.int64)
+    keep = coo.data > threshold
+    counts = np.rint(coo.data[keep]).astype(np.int64)
+    return CountedPairBlock(
+        (row_arr[coo.row[keep]], col_arr[coo.col[keep]]), counts, deduped=True
+    )
 
 
 def sparse_nonzero_pairs(

@@ -9,13 +9,16 @@ partition trivially:
   x domain and produces its output pairs independently.
 
 Because numpy's BLAS kernels release the GIL, a thread pool achieves real
-parallel speedups for the matrix part; the light probing is pure Python so
-its thread-level speedup is limited, which is faithful to the paper's
-observation that the matrix part is the more scalable one.
+parallel speedups for the matrix part; the light probing is a vectorized
+NumPy gather (see :func:`repro.joins.baseline.probe_pairs_block`), which
+also releases the GIL for the bulk of its work.
 
 :func:`parallel_two_path` is a thin wrapper over the shared planner
 pipeline: with ``cores > 1`` the ``combinatorial_light`` operator probes in
-per-core chunks and the dense backend row-partitions the heavy product via
+per-core chunks — every worker returns a columnar
+:class:`~repro.data.pairblock.PairBlock`, and the merge is one array
+concatenation plus a single packed-key ``np.unique`` instead of per-worker
+set unions — and the dense backend row-partitions the heavy product via
 :func:`parallel_matmul`.
 """
 
@@ -142,7 +145,7 @@ def parallel_two_path(
     state = plan.state
     assert state is not None
     return ParallelJoinResult(
-        pairs=state.pairs,
+        pairs=state.pairs,  # columnar result → Python set, once, at this boundary
         seconds=time.perf_counter() - start,
         cores=max(int(cores), 1),
         light_seconds=state.timings.get("light", 0.0),

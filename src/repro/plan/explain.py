@@ -21,7 +21,12 @@ from typing import Any, Dict, List, Optional
 
 @dataclass
 class OperatorReport:
-    """One physical operator's execution record."""
+    """One physical operator's execution record.
+
+    ``detail`` carries the operator's self-reported metrics, including the
+    ``memory_in_bytes`` / ``memory_out_bytes`` block sizes every operator
+    records — so ``repro-cli explain`` shows where the memory goes.
+    """
 
     operator: str
     status: str = "pending"  # pending | ran | skipped

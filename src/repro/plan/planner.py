@@ -133,7 +133,7 @@ class PhysicalPlan:
             total_seconds=state.timings.get("total", 0.0) if state is not None else 0.0,
             estimated_total_cost=decision.estimated_cost if decision is not None else 0.0,
             estimated_output=decision.estimated_output if decision is not None else 0.0,
-            output_size=len(state.pairs) if state is not None else 0,
+            output_size=state.output_size if state is not None else 0,
         )
 
 

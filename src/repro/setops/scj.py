@@ -98,7 +98,9 @@ def scj_mmjoin(
     The containment join is a logical-plan instance: a
     :class:`~repro.plan.query.ContainmentJoinQuery` lowered by the planner
     onto the counting two-path pipeline; the ordered witness counts are
-    compared against each contained set's size here.
+    compared against each contained set's size columnar, on the pipeline's
+    :class:`~repro.data.pairblock.CountedPairBlock` — the Python pair set
+    materialises once, here, at the API boundary.
     """
     start = time.perf_counter()
     self_join = containers is family
@@ -107,16 +109,24 @@ def scj_mmjoin(
         ContainmentJoinQuery(family=family, other=None if self_join else containers)
     )
     state = plan.state
-    assert state.counts is not None
+    counted = state.result_counted
+    assert counted is not None
     sizes = family.sizes()
-    pairs: Set[Pair] = set()
-    for (a, b), overlap in state.counts.items():
-        if self_join:
-            if a != b and overlap >= sizes.get(a, 0):
-                pairs.add((a, b))
-        else:
-            if overlap >= sizes.get(a, 1):
-                pairs.add((a, b))
+    a_col, b_col = counted.columns
+    overlaps = counted.counts
+    # Vectorized |a| lookup: one Python-level gather over the distinct
+    # contained ids instead of one dict probe per output pair.
+    uniq_a, inverse = np.unique(a_col, return_inverse=True)
+    default_size = 0 if self_join else 1
+    required = np.fromiter(
+        (sizes.get(int(v), default_size) for v in uniq_a),
+        count=uniq_a.size,
+        dtype=np.int64,
+    )[inverse]
+    keep = overlaps >= required
+    if self_join:
+        keep &= a_col != b_col
+    pairs = set(zip(a_col[keep].tolist(), b_col[keep].tolist()))
     return SCJResult(
         pairs=pairs,
         method="mmjoin",

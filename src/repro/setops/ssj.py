@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
+from repro.data.pairblock import CountedPairBlock
 from repro.data.setfamily import SetFamily
 from repro.plan.planner import Planner
 from repro.plan.query import SimilarityJoinQuery
@@ -120,26 +121,31 @@ def ssj_mmjoin(
     When ``other`` is given the join is between the two families and output
     pairs are ``(id in family, id in other)``; otherwise it is a self-join
     with canonical ``a < b`` pairs.
+
+    The threshold filter and the self-join canonicalisation run columnar on
+    the pipeline's :class:`~repro.data.pairblock.CountedPairBlock`; the
+    Python set/dict of :class:`SSJResult` materialise once, here, at the API
+    boundary.
     """
     start = time.perf_counter()
     planner = Planner(config=config)
     plan = planner.execute(SimilarityJoinQuery(family=family, other=other, overlap=c))
     state = plan.state
-    assert state.counts is not None
-    pairs: Set[Pair] = set()
-    counts: Dict[Pair, int] = {}
+    counted = state.result_counted
+    assert counted is not None
     self_join = other is None
-    for (a, b), count in state.counts.items():
-        if count < c:
-            continue
-        if self_join:
-            if a == b:
-                continue
-            key = _canonical((a, b))
-        else:
-            key = (a, b)
-        pairs.add(key)
-        counts[key] = count
+    a_col, b_col = counted.columns
+    keep = counted.counts >= c
+    if self_join:
+        keep &= a_col != b_col
+    counted = counted.filter(keep)
+    if self_join:
+        a_col, b_col = counted.columns
+        counted = CountedPairBlock(
+            (np.minimum(a_col, b_col), np.maximum(a_col, b_col)), counted.counts
+        ).dedup(reduce="max")  # (a,b) and (b,a) carry the same overlap
+    counts = counted.to_dict()
+    pairs = set(counts)
     return SSJResult(
         pairs=pairs,
         counts=counts,

@@ -1,0 +1,255 @@
+"""Property tests: columnar blocks match Python-set semantics exactly.
+
+Hypothesis generates random relations (including empty and single-row edge
+cases); every ``PairBlock`` / ``CountedPairBlock`` operation must agree with
+the equivalent operation on plain sets/dicts of tuples, and the heavy-residual
+extraction must agree across every registered matmul backend.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MMJoinConfig
+from repro.core.partitioning import partition_two_path
+from repro.core.two_path import two_path_join, two_path_join_counts
+from repro.data.pairblock import CountedPairBlock, PairBlock
+from repro.data.relation import Relation
+from repro.joins.baseline import (
+    combinatorial_star,
+    combinatorial_star_block,
+    combinatorial_two_path,
+    combinatorial_two_path_block,
+    combinatorial_two_path_counted,
+    probe_pairs_block,
+    star_counted_block,
+    star_expansion_block,
+)
+from repro.joins.hash_join import hash_join_project, hash_join_project_counts
+from repro.matmul.registry import make_default_registry
+
+# Values deliberately include 0 and a huge outlier so both the packed-key
+# fast path and the unique(axis=0) fallback are exercised.
+SMALL_VALUES = st.integers(min_value=0, max_value=40)
+HUGE_VALUES = st.integers(min_value=0, max_value=2**40)
+
+
+def pair_lists(values=SMALL_VALUES, max_size=120):
+    return st.lists(st.tuples(values, values), min_size=0, max_size=max_size)
+
+
+def triple_lists(values=SMALL_VALUES, max_size=80):
+    return st.lists(st.tuples(values, values, values), min_size=0, max_size=max_size)
+
+
+class TestPairBlockSetSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(rows=pair_lists())
+    def test_dedup_matches_set(self, rows):
+        block = PairBlock.from_pairs(rows)
+        deduped = block.dedup()
+        assert deduped.to_set() == set(rows)
+        assert len(deduped) == len(set(rows))
+        # Canonical order: lexicographically sorted rows.
+        assert [tuple(r) for r in deduped.as_array().tolist()] == sorted(set(rows))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pair_lists(), b=pair_lists())
+    def test_concat_dedup_matches_union(self, a, b):
+        merged = PairBlock.from_pairs(a).concat(PairBlock.from_pairs(b)).dedup()
+        assert merged == set(a) | set(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=pair_lists(), b=pair_lists())
+    def test_difference_matches_set_difference(self, a, b):
+        block_a, block_b = PairBlock.from_pairs(a), PairBlock.from_pairs(b)
+        assert block_a.difference(block_b).to_set() == set(a) - set(b)
+        assert block_a.intersection(block_b).to_set() == set(a) & set(b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=pair_lists(values=HUGE_VALUES, max_size=40),
+           b=pair_lists(values=HUGE_VALUES, max_size=40))
+    def test_huge_domains_use_fallback_and_agree(self, a, b):
+        """Domains too large to pack into one int64 key still match sets."""
+        block_a, block_b = PairBlock.from_pairs(a), PairBlock.from_pairs(b)
+        assert block_a.dedup().to_set() == set(a)
+        assert block_a.difference(block_b).to_set() == set(a) - set(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=triple_lists())
+    def test_arity_three_round_trip(self, rows):
+        block = PairBlock.from_pairs(rows, arity=3)
+        assert block.dedup() == set(rows)
+        assert block.dedup().arity == 3
+
+    def test_empty_and_single_row_edges(self):
+        empty = PairBlock.empty()
+        assert len(empty) == 0 and empty.to_set() == set()
+        assert empty.dedup() == set()
+        assert empty.concat(empty) == set()
+        single = PairBlock.from_pairs([(3, 7)])
+        assert single.dedup().to_set() == {(3, 7)}
+        assert (3, 7) in single and (7, 3) not in single
+        assert single.difference(empty) == {(3, 7)}
+        assert empty.difference(single) == set()
+
+    def test_invalid_columns_rejected(self):
+        with pytest.raises(ValueError):
+            PairBlock((np.arange(3), np.arange(4)))
+        with pytest.raises(ValueError):
+            PairBlock(())
+
+    def test_arity_mismatch_rejected(self):
+        pairs = PairBlock.from_pairs([(1, 2)])
+        triples = PairBlock.from_pairs([(1, 2, 3)], arity=3)
+        with pytest.raises(ValueError):
+            pairs.concat(triples)
+        with pytest.raises(ValueError):
+            pairs.difference(triples)
+        with pytest.raises(ValueError):
+            pairs.intersection(triples)
+
+    def test_blocks_unhashable(self):
+        """Blocks compare by content, so they must not be hashable."""
+        with pytest.raises(TypeError):
+            hash(PairBlock.from_pairs([(1, 2)]))
+
+
+class TestCountedBlockSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(rows=pair_lists(max_size=200))
+    def test_expansion_dedup_matches_counter(self, rows):
+        """Count aggregation over duplicate rows equals a Python Counter."""
+        block = CountedPairBlock.from_expansion(PairBlock.from_pairs(rows))
+        assert block.dedup().to_dict() == dict(Counter(rows))
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=pair_lists(max_size=100), b=pair_lists(max_size=100))
+    def test_concat_dedup_sums_counts(self, a, b):
+        merged = (
+            CountedPairBlock.from_expansion(PairBlock.from_pairs(a))
+            .concat(CountedPairBlock.from_expansion(PairBlock.from_pairs(b)))
+            .dedup(reduce="sum")
+        )
+        assert merged == dict(Counter(a) + Counter(b))
+
+    def test_dict_round_trip_and_edges(self):
+        assert CountedPairBlock.empty().to_dict() == {}
+        counts = {(1, 2): 3, (0, 0): 1}
+        assert CountedPairBlock.from_dict(counts).to_dict() == counts
+        single = CountedPairBlock.from_dict({(5, 5): 2})
+        assert single.pairs_block().to_set() == {(5, 5)}
+
+    def test_reduce_max(self):
+        block = CountedPairBlock(
+            (np.array([1, 1, 2]), np.array([2, 2, 3])), np.array([4, 7, 5])
+        )
+        assert block.dedup(reduce="max").to_dict() == {(1, 2): 7, (2, 3): 5}
+        with pytest.raises(ValueError):
+            block.dedup(reduce="min")
+
+    def test_reduce_max_non_positive_counts(self):
+        """max must hold for counts <= 0 too (no zero-seeded aggregate)."""
+        block = CountedPairBlock(
+            (np.array([1, 1, 2, 2]), np.array([2, 2, 3, 3])),
+            np.array([-5, -3, -1, 0]),
+        )
+        assert block.dedup(reduce="max").to_dict() == {(1, 2): -3, (2, 3): 0}
+
+
+def _relation_from(rows, name):
+    return Relation.from_pairs(rows, name=name)
+
+
+class TestPipelineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(left=pair_lists(max_size=150), right=pair_lists(max_size=150))
+    def test_probe_expansion_matches_hash_join(self, left, right):
+        rel_l, rel_r = _relation_from(left, "R"), _relation_from(right, "S")
+        block = probe_pairs_block(rel_l.xs, rel_l.ys, rel_r).dedup()
+        assert block.to_set() == hash_join_project(rel_l, rel_r)
+
+    @settings(max_examples=25, deadline=None)
+    @given(left=pair_lists(max_size=150), right=pair_lists(max_size=150))
+    def test_combinatorial_matches_hash_join_counts(self, left, right):
+        rel_l, rel_r = _relation_from(left, "R"), _relation_from(right, "S")
+        assert combinatorial_two_path(rel_l, rel_r, with_counts=True) == (
+            hash_join_project_counts(rel_l, rel_r)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(left=pair_lists(max_size=150), right=pair_lists(max_size=150))
+    def test_chunked_expansion_matches_unchunked(self, left, right):
+        """Tiny chunk caps must not change any expansion result."""
+        rel_l, rel_r = _relation_from(left, "R"), _relation_from(right, "S")
+        assert combinatorial_two_path_block(rel_l, rel_r, chunk_rows=7) == (
+            combinatorial_two_path_block(rel_l, rel_r)
+        )
+        assert combinatorial_two_path_counted(rel_l, rel_r, chunk_rows=7) == (
+            combinatorial_two_path_counted(rel_l, rel_r)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(a=pair_lists(max_size=80), b=pair_lists(max_size=80), c=pair_lists(max_size=80))
+    def test_chunked_star_matches_reference(self, a, b, c):
+        rels = [_relation_from(rows, f"R{i}") for i, rows in enumerate((a, b, c))]
+        expected = combinatorial_star(rels)
+        assert star_expansion_block(rels, chunk_rows=5).dedup() == expected
+        assert combinatorial_star_block(rels) == expected
+        assert star_counted_block(rels, chunk_rows=5) == (
+            combinatorial_star(rels, with_counts=True)
+        )
+
+    def test_probe_slices_respect_cap(self):
+        """Chunks stay under the expansion cap (single probes may exceed it)."""
+        from repro.joins.baseline import _probe_slices
+
+        right = Relation.from_pairs([(z, 0) for z in range(10)], "S")
+        probe_ys = np.zeros(6, dtype=np.int64)  # 10 expansions per probe
+        slices = _probe_slices(probe_ys, right, chunk_rows=15)
+        for sl in slices:
+            width = sl.stop - sl.start
+            assert width * 10 <= 15 or width == 1
+        covered = [i for sl in slices for i in range(sl.start, sl.stop)]
+        assert covered == list(range(6))
+
+    @settings(max_examples=10, deadline=None)
+    @given(left=pair_lists(max_size=120), right=pair_lists(max_size=120))
+    def test_all_backends_agree_end_to_end(self, left, right):
+        """The columnar pipeline matches set semantics for every backend."""
+        rel_l, rel_r = _relation_from(left, "R"), _relation_from(right, "S")
+        expected_pairs = hash_join_project(rel_l, rel_r)
+        expected_counts = hash_join_project_counts(rel_l, rel_r)
+        for backend in make_default_registry().names():
+            config = MMJoinConfig(delta1=1, delta2=1, matrix_backend=backend)
+            assert two_path_join(rel_l, rel_r, config=config).pairs == expected_pairs
+            assert two_path_join_counts(rel_l, rel_r, config=config).counts == (
+                expected_counts
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(left=pair_lists(max_size=120), right=pair_lists(max_size=120))
+    def test_heavy_extraction_blocks_agree_across_backends(self, left, right):
+        rel_l, rel_r = _relation_from(left, "R"), _relation_from(right, "S")
+        partition = partition_two_path(rel_l, rel_r, 1, 1)
+        rows, mids, cols = partition.heavy_x, partition.heavy_y, partition.heavy_z
+        if min(rows.size, mids.size, cols.size) == 0:
+            return
+        reference = None
+        for backend in make_default_registry():
+            block, _, _ = backend.heavy_pairs(
+                partition.r_heavy, partition.s_heavy, rows, mids, cols
+            )
+            counted, _, _ = backend.heavy_counts(
+                partition.r_heavy, partition.s_heavy, rows, mids, cols
+            )
+            assert isinstance(block, PairBlock)
+            assert isinstance(counted, CountedPairBlock)
+            assert counted.pairs_block().dedup() == block.dedup()
+            if reference is None:
+                reference = block
+            else:
+                assert block == reference, backend.name
