@@ -1,0 +1,32 @@
+"""Bench-runner wiring for the session-cache microbenchmark.
+
+Runs :mod:`micro_session_cache` under the pytest-benchmark harness, records
+the paper-style table to ``benchmarks/results/micro_session_cache.txt`` and
+asserts the acceptance bar: warm (artifact-cached, memo bypassed) serving of
+the repeated two-path query is at least 3x faster than cold on the
+10^5-tuple dense-core workload, and the memo path is faster still.
+"""
+
+import micro_session_cache
+
+
+def test_micro_session_cache_table(benchmark, record_rows):
+    rows = benchmark.pedantic(micro_session_cache.run_rows, rounds=1, iterations=1)
+    text = record_rows(
+        "micro_session_cache", rows,
+        title="Microbenchmark: cold vs warm session serving",
+    )
+    print("\n" + text)
+    acceptance = [r for r in rows
+                  if r["workload"] == micro_session_cache.ACCEPTANCE_WORKLOAD]
+    assert acceptance, "acceptance workload missing from the sweep"
+    row = acceptance[0]
+    assert row["tuples"] >= 100_000, row
+    assert row["warm_speedup"] >= 3.0, row
+    assert row["memo_speedup"] >= row["warm_speedup"], row
+
+
+def test_micro_session_cache_outputs_agree():
+    """Cold, warm and memo paths return identical pairs (asserted inside)."""
+    rows = micro_session_cache.run_rows(repeats=1)
+    assert {r["workload"] for r in rows} == set(micro_session_cache.WORKLOADS)

@@ -2,7 +2,8 @@
 
 Makes the ``src`` layout importable even when the package has not been
 installed (e.g. running ``pytest`` straight from a fresh checkout in an
-offline environment).
+offline environment), and registers the ``--update-goldens`` flag the
+explain() snapshot tests use.
 """
 
 import sys
@@ -11,3 +12,12 @@ from pathlib import Path
 SRC = Path(__file__).parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden explain() snapshot files instead of asserting",
+    )

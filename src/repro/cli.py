@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Five subcommands cover the common workflows without writing any Python:
+Seven subcommands cover the common workflows without writing any Python:
 
 * ``repro-cli join <edge-list>`` — evaluate the 2-path join-project over an
   edge-list file (with ``--engine`` choosing any registered query engine)
@@ -8,6 +8,11 @@ Five subcommands cover the common workflows without writing any Python:
 * ``repro-cli explain <edge-list>`` — run the planner pipeline and print the
   chosen plan: strategy, thresholds, matmul backend and per-operator
   estimated vs. actual cost;
+* ``repro-cli session <edge-list>`` — serve the same query repeatedly from a
+  :class:`~repro.serve.session.QuerySession` and report the cold-vs-warm
+  timings, cache-hit counters and the estimated-vs-actual cost feedback;
+* ``repro-cli serve <edge-list>`` — a long-lived serving loop reading query
+  commands from stdin (or ``--script``) against one session;
 * ``repro-cli ssj <edge-list> --overlap C`` — run the set similarity join
   with a chosen method;
 * ``repro-cli scj <edge-list>`` — run the set containment join;
@@ -58,6 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="logical query shape to plan")
     explain.add_argument("--k", type=int, default=3,
                          help="number of relations for --query star (self-join copies)")
+
+    session = sub.add_parser(
+        "session",
+        help="serve a repeated query from a QuerySession (cold vs warm report)",
+    )
+    _add_join_options(session)
+    session.add_argument("--repeat", type=int, default=3,
+                         help="number of warm re-evaluations after the cold run")
+    session.add_argument("--no-memo", action="store_true",
+                         help="bypass the plan/result memo (exercise artifact caches only)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve query commands against one long-lived session",
+    )
+    _add_join_options(serve)
+    serve.add_argument("--script", default=None,
+                       help="file of serve commands (default: read stdin)")
 
     ssj = sub.add_parser("ssj", help="set similarity join over an edge list (set_id element)")
     ssj.add_argument("path")
@@ -130,6 +153,108 @@ def _run_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_session(args: argparse.Namespace) -> int:
+    from repro.serve import QuerySession
+
+    relation = load_edge_list(args.path)
+    config = _config_from_args(args)
+    rows = []
+    with QuerySession(config=config) as session:
+        session.register(relation, name="R")
+        for run in range(max(int(args.repeat), 1) + 1):
+            result = session.two_path("R", "R", use_memo=not args.no_memo)
+            explanation = result.explanation
+            hits = 0
+            if explanation is not None:
+                hits = explanation.session_stats.get("operator_cache_hits", 0)
+            rows.append({
+                "run": "cold" if run == 0 else f"warm{run}",
+                "memo": "hit" if result.from_memo else "miss",
+                "operator_cache_hits": hits,
+                "output_pairs": result.output_size,
+                "seconds": round(result.seconds, 6),
+            })
+        print(format_table(rows, title=f"session serving over {args.path}"))
+        stats = session.cache_stats()
+        artifacts, memo = stats["artifacts"], stats["memo"]
+        print(f"artifact cache: {artifacts['hits']} hits / {artifacts['misses']} misses"
+              f" / {artifacts['bytes']} bytes")
+        print(f"memo cache:     {memo['hits']} hits / {memo['misses']} misses"
+              f" / {memo['bytes']} bytes")
+        print(f"feedback: {stats['feedback_observations']} matmul observations,"
+              f" {stats['cost_model_points']} cost-model calibration points")
+        feedback_rows = session.feedback.summary()
+        if feedback_rows:
+            print(format_table(feedback_rows, title="estimated vs actual operator cost"))
+    return 0
+
+
+SERVE_COMMANDS = "two-path [counts] | star K | ssj C | scj | explain | stats | quit"
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.serve import QuerySession
+
+    relation = load_edge_list(args.path)
+    config = _config_from_args(args)
+    if args.script is not None:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    else:
+        lines = sys.stdin
+    with QuerySession(config=config) as session:
+        session.register(relation, name="R")
+        print(f"serving R ({len(relation)} tuples) from {args.path}")
+        print(f"commands: {SERVE_COMMANDS}")
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if _serve_command(session, line) is False:
+                break
+    return 0
+
+
+def _serve_command(session, line: str) -> bool:
+    """Execute one serve-loop command; returns False on quit."""
+    parts = line.split()
+    command = parts[0].lower()
+    try:
+        if command in ("quit", "exit"):
+            return False
+        if command == "two-path":
+            counting = len(parts) > 1 and parts[1] == "counts"
+            result = session.two_path("R", "R", counting=counting)
+            memo = "hit" if result.from_memo else "miss"
+            print(f"two-path: {result.output_size} pairs in {result.seconds:.6f}s "
+                  f"(memo {memo}, strategy {result.strategy}, backend {result.backend})")
+        elif command == "star":
+            k = int(parts[1]) if len(parts) > 1 else 3
+            result = session.star(["R"] * max(k, 1))
+            memo = "hit" if result.from_memo else "miss"
+            print(f"star({k}): {result.output_size} tuples in {result.seconds:.6f}s "
+                  f"(memo {memo})")
+        elif command == "ssj":
+            c = int(parts[1]) if len(parts) > 1 else 1
+            result = session.similarity("R", c=c)
+            print(f"ssj(c={c}): {len(result)} similar pairs in "
+                  f"{result.timings.get('total', 0.0):.6f}s")
+        elif command == "scj":
+            result = session.containment("R")
+            print(f"scj: {len(result)} containment pairs in "
+                  f"{result.timings.get('total', 0.0):.6f}s")
+        elif command == "explain":
+            print(session.two_path("R", "R").explain())
+        elif command == "stats":
+            for key, value in session.cache_stats().items():
+                print(f"{key}: {value}")
+        else:
+            print(f"unknown command: {line} (expected {SERVE_COMMANDS})")
+    except Exception as exc:  # serving loop must survive bad commands
+        print(f"error: {exc}")
+    return True
+
+
 def _run_ssj(args: argparse.Namespace) -> int:
     family = SetFamily.from_relation(load_edge_list(args.path))
     result = set_similarity_join(family, c=args.overlap, method=args.method)
@@ -171,6 +296,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "join": _run_join,
         "explain": _run_explain,
+        "session": _run_session,
+        "serve": _run_serve,
         "ssj": _run_ssj,
         "scj": _run_scj,
         "datasets": _run_datasets,

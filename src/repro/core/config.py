@@ -104,6 +104,25 @@ class MMJoinConfig:
         if self.delta2 is not None and self.delta2 < 1:
             raise ValueError("delta2 must be at least 1")
 
+    def cache_signature(self) -> tuple:
+        """The fields that can change a plan or its derived artifacts.
+
+        Session caches (partitions, matmul operands, plan memos) embed this
+        tuple in their keys so evaluations under different knobs never share
+        an artifact that depends on those knobs.
+        """
+        return (
+            self.delta1,
+            self.delta2,
+            self.full_join_factor,
+            self.matrix_backend,
+            self.dedup_strategy,
+            self.cores,
+            self.optimizer_shrink,
+            self.max_heavy_dimension,
+            self.use_optimizer,
+        )
+
     def with_thresholds(self, delta1: int, delta2: int) -> "MMJoinConfig":
         """Return a copy with fixed degree thresholds."""
         return replace(self, delta1=int(delta1), delta2=int(delta2))

@@ -30,7 +30,6 @@ from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
 from repro.core.optimizer import OptimizerDecision
 from repro.data.relation import Relation
 from repro.plan.explain import PlanExplanation
-from repro.plan.planner import Planner
 from repro.plan.query import StarQuery
 
 HeadTuple = Tuple[int, ...]
@@ -87,8 +86,12 @@ def star_join_detailed(
     """Full-control star MMJoin entry point (see module docstring)."""
     if not relations:
         return StarJoinResult(tuples=set(), strategy="wcoj")
-    planner = Planner(config=config)
-    plan = planner.execute(StarQuery(relations))
+    # One-shot evaluation is a throwaway serving session (see two_path.py).
+    from repro.matmul.registry import default_registry
+    from repro.serve.session import QuerySession
+
+    with QuerySession(config=config, registry=default_registry(), feedback=False) as session:
+        plan = session.evaluate(StarQuery(relations), use_memo=False).plan
     state = plan.state
     return StarJoinResult(
         tuples=state.pairs,

@@ -24,7 +24,6 @@ from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
 from repro.core.optimizer import OptimizerDecision
 from repro.data.relation import Relation
 from repro.plan.explain import PlanExplanation
-from repro.plan.planner import Planner
 from repro.plan.query import TwoPathQuery
 
 Pair = Tuple[int, int]
@@ -133,9 +132,17 @@ def two_path_join_detailed(
     with_counts:
         Also compute exact witness counts (needed by SSJ).
     """
-    planner = Planner(config=config)
-    plan = planner.execute(TwoPathQuery(left=left, right=right, counting=with_counts))
-    return result_from_plan(plan, with_counts=with_counts)
+    # One-shot evaluation is a throwaway serving session: same pipeline, no
+    # memoization, process-wide backend registry (so runtime-registered
+    # custom backends resolve), and no feedback mutation of shared state.
+    from repro.matmul.registry import default_registry
+    from repro.serve.session import QuerySession
+
+    with QuerySession(config=config, registry=default_registry(), feedback=False) as session:
+        result = session.evaluate(
+            TwoPathQuery(left=left, right=right, counting=with_counts), use_memo=False
+        )
+    return result_from_plan(result.plan, with_counts=with_counts)
 
 
 def result_from_plan(plan, with_counts: bool = False) -> MMJoinResult:

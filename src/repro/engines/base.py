@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Sequence, Set, Tuple
 
+from repro.data.pairblock import PairBlock
 from repro.data.relation import Relation
 
 Pair = Tuple[int, int]
@@ -73,6 +74,24 @@ class QueryEngine(abc.ABC):
         explanation; the default is empty.
         """
         return {}
+
+    # Columnar access ------------------------------------------------------
+    def two_path_block(self, left: Relation, right: Relation) -> PairBlock:
+        """The 2-path result as a columnar :class:`PairBlock`.
+
+        Columnar-native engines (the planner pipeline, the SQL stand-ins,
+        the set-intersection engine) override this and implement
+        :meth:`two_path` as ``two_path_block(...).to_set()`` — one set
+        conversion, at the API boundary.  The default wraps set-native
+        engines the other way around.
+        """
+        return PairBlock.from_pairs(self.two_path(left, right))
+
+    def star_block(self, relations: Sequence[Relation]) -> PairBlock:
+        """The star result as a columnar :class:`PairBlock` (see above)."""
+        return PairBlock.from_pairs(
+            self.star(relations), arity=max(len(relations), 1)
+        )
 
     # Timed wrappers -------------------------------------------------------
     def run_two_path(self, left: Relation, right: Relation) -> EngineResult:

@@ -16,9 +16,10 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.data.pairblock import PairBlock
 from repro.data.relation import Relation
 from repro.engines.base import HeadTuple, Pair, QueryEngine
-from repro.joins.baseline import combinatorial_star
+from repro.joins.baseline import combinatorial_star_block
 
 
 class SetIntersectionEngine(QueryEngine):
@@ -36,24 +37,33 @@ class SetIntersectionEngine(QueryEngine):
     def __init__(self, dense_domain_limit: int = 200_000) -> None:
         self.dense_domain_limit = int(dense_domain_limit)
 
+    # Results stay columnar internally: the per-x partner arrays concatenate
+    # into one PairBlock and the Python set of the ``two_path`` / ``star``
+    # API materialises exactly once, at the boundary.
     def two_path(self, left: Relation, right: Relation) -> Set[Pair]:
+        return self.two_path_block(left, right).to_set()
+
+    def star(self, relations: Sequence[Relation]) -> Set[HeadTuple]:
+        return self.star_block(relations).to_set()
+
+    def two_path_block(self, left: Relation, right: Relation) -> PairBlock:
         if len(left) == 0 or len(right) == 0:
-            return set()
+            return PairBlock.empty()
         z_values = right.x_values()
         domain = int(z_values.max()) + 1 if z_values.size else 0
         if 0 < domain <= self.dense_domain_limit:
             return self._two_path_dense(left, right, domain)
         return self._two_path_sparse(left, right)
 
-    def star(self, relations: Sequence[Relation]) -> Set[HeadTuple]:
+    def star_block(self, relations: Sequence[Relation]) -> PairBlock:
         # The generic intersection-based multiway join; dense encodings give
         # no asymptotic advantage beyond two relations, so reuse the
-        # combinatorial expansion (this matches EmptyHeaded being a WCOJ
-        # engine at heart).
-        return combinatorial_star(relations)
+        # columnar combinatorial expansion (this matches EmptyHeaded being a
+        # WCOJ engine at heart).
+        return combinatorial_star_block(relations)
 
     # ------------------------------------------------------------------ #
-    def _two_path_dense(self, left: Relation, right: Relation, domain: int) -> Set[Pair]:
+    def _two_path_dense(self, left: Relation, right: Relation, domain: int) -> PairBlock:
         """Dense path: one boolean vector per y value, OR-ed per x value."""
         right_index = right.index_y()
         bitsets: Dict[int, np.ndarray] = {}
@@ -61,7 +71,8 @@ class SetIntersectionEngine(QueryEngine):
             vec = np.zeros(domain, dtype=bool)
             vec[zs] = True
             bitsets[y] = vec
-        output: Set[Pair] = set()
+        x_chunks: List[np.ndarray] = []
+        z_chunks: List[np.ndarray] = []
         for x, ys in left.index_x().items():
             acc = np.zeros(domain, dtype=bool)
             hit = False
@@ -72,15 +83,16 @@ class SetIntersectionEngine(QueryEngine):
                     hit = True
             if not hit:
                 continue
-            xi = int(x)
-            for z in np.nonzero(acc)[0]:
-                output.add((xi, int(z)))
-        return output
+            zs = np.nonzero(acc)[0].astype(np.int64)
+            x_chunks.append(np.full(zs.size, int(x), dtype=np.int64))
+            z_chunks.append(zs)
+        return _pairs_from_chunks(x_chunks, z_chunks)
 
-    def _two_path_sparse(self, left: Relation, right: Relation) -> Set[Pair]:
+    def _two_path_sparse(self, left: Relation, right: Relation) -> PairBlock:
         """Sparse path: sorted-array unions per x value."""
         right_index = right.index_y()
-        output: Set[Pair] = set()
+        x_chunks: List[np.ndarray] = []
+        z_chunks: List[np.ndarray] = []
         for x, ys in left.index_x().items():
             chunks: List[np.ndarray] = []
             for y in ys:
@@ -89,7 +101,20 @@ class SetIntersectionEngine(QueryEngine):
                     chunks.append(zs)
             if not chunks:
                 continue
-            xi = int(x)
-            for z in np.unique(np.concatenate(chunks)):
-                output.add((xi, int(z)))
-        return output
+            zs = np.unique(np.concatenate(chunks)).astype(np.int64)
+            x_chunks.append(np.full(zs.size, int(x), dtype=np.int64))
+            z_chunks.append(zs)
+        return _pairs_from_chunks(x_chunks, z_chunks)
+
+
+def _pairs_from_chunks(x_chunks: List[np.ndarray], z_chunks: List[np.ndarray]) -> PairBlock:
+    """Assemble per-x partner arrays into one deduplicated block.
+
+    Each x value contributes distinct z partners, so the concatenation is
+    already duplicate-free.
+    """
+    if not x_chunks:
+        return PairBlock.empty()
+    return PairBlock(
+        (np.concatenate(x_chunks), np.concatenate(z_chunks)), deduped=True
+    )

@@ -17,10 +17,11 @@ paid.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.data.pairblock import PairBlock
 from repro.data.relation import Relation
 from repro.engines.base import HeadTuple, Pair, QueryEngine
 from repro.joins.hash_join import hash_join
@@ -65,32 +66,46 @@ class SQLLikeEngine(QueryEngine):
         self.name = name
 
     # ------------------------------------------------------------------ #
+    # Results stay columnar end-to-end: the materialised full join goes into
+    # a PairBlock, dedup runs on the block, and the Python set of the
+    # ``two_path`` / ``star`` API materialises exactly once, at the boundary.
     def two_path(self, left: Relation, right: Relation) -> Set[Pair]:
+        return self.two_path_block(left, right).to_set()
+
+    def star(self, relations: Sequence[Relation]) -> Set[HeadTuple]:
+        return self.star_block(relations).to_set()
+
+    def two_path_block(self, left: Relation, right: Relation) -> PairBlock:
         join_iter = (
             hash_join(left, right)
             if self.join_algorithm == "hash"
             else sort_merge_join(left, right)
         )
-        materialised: List[Pair] = [(x, z) for x, _y, z in join_iter]
+        materialised: List[Tuple[int, int, int]] = list(join_iter)
         self._charge_overhead(len(materialised))
-        if self.dedup == "hash":
-            return set(materialised)
         if not materialised:
-            return set()
+            return PairBlock.empty()
         arr = np.asarray(materialised, dtype=np.int64)
-        uniq = np.unique(arr, axis=0)
-        return {(int(a), int(b)) for a, b in uniq}
+        return self._dedup_block(PairBlock((arr[:, 0], arr[:, 2])))
 
-    def star(self, relations: Sequence[Relation]) -> Set[HeadTuple]:
+    def star_block(self, relations: Sequence[Relation]) -> PairBlock:
         materialised: List[HeadTuple] = [tup[1:] for tup in star_full_join(relations)]
         self._charge_overhead(len(materialised))
-        if self.dedup == "hash":
-            return set(materialised)
         if not materialised:
-            return set()
-        arr = np.asarray(materialised, dtype=np.int64)
-        uniq = np.unique(arr, axis=0)
-        return {tuple(int(v) for v in row) for row in uniq}
+            return PairBlock.empty(arity=max(len(relations), 1))
+        return self._dedup_block(
+            PairBlock.from_array(np.asarray(materialised, dtype=np.int64))
+        )
+
+    def _dedup_block(self, block: PairBlock) -> PairBlock:
+        """Duplicate elimination on the columnar block.
+
+        ``hash`` models a hash aggregate with the packed-key unique; ``sort``
+        models sort-based dedup by sorting the materialised rows directly.
+        """
+        if self.dedup == "hash":
+            return block.dedup()
+        return PairBlock.from_array(np.unique(block.as_array(), axis=0), deduped=True)
 
     # ------------------------------------------------------------------ #
     def _charge_overhead(self, intermediate_tuples: int) -> None:

@@ -59,6 +59,19 @@ def _relation_bytes(relations) -> int:
     return int(sum(r.data.nbytes for r in relations))
 
 
+def _matrix_nbytes(matrix) -> int:
+    """Byte size of a dense ndarray, CSR matrix, or int64 row table."""
+    nbytes = getattr(matrix, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    total = 0
+    for attr in ("data", "indices", "indptr"):
+        arr = getattr(matrix, attr, None)
+        if arr is not None:
+            total += int(getattr(arr, "nbytes", 0))
+    return total
+
+
 class PhysicalOperator:
     """Base physical operator: timed, skippable, self-describing."""
 
@@ -95,7 +108,14 @@ class PhysicalOperator:
 
 
 class SemijoinReduce(PhysicalOperator):
-    """Drop dangling tuples: keep only witnesses shared by every relation."""
+    """Drop dangling tuples: keep only witnesses shared by every relation.
+
+    Session-aware: under a :class:`~repro.serve.session.SessionContext` the
+    reduced relation list is cached by the input relations' tokens — a warm
+    hit returns the *same* ``Relation`` objects, so their lazily built
+    layouts (``sorted_by_y``, the y-indexes, degree arrays) come back warm
+    with them.
+    """
 
     name = "semijoin_reduce"
 
@@ -109,26 +129,52 @@ class SemijoinReduce(PhysicalOperator):
             self.detail["output_tuples"] = 0
             self.record_memory(in_bytes, 0)
             return
-        if state.mode == MODE_STAR:
-            shared = relations[0].y_values()
-            for rel in relations[1:]:
-                shared = np.intersect1d(shared, rel.y_values(), assume_unique=True)
-            reduced = [rel.restrict_y(shared, name=rel.name) for rel in relations]
+        ctx = state.session
+        key = (
+            ctx.key("semijoin", relations, state.mode == MODE_STAR)
+            if ctx is not None else None
+        )
+        if key is not None:
+            found, reduced = ctx.artifacts.lookup(key)
+            if found:
+                self.detail["cache"] = "hit"
+            else:
+                reduced = self._reduce(relations, state.mode)
+                ctx.adopt_derived(
+                    reduced, "semijoin", ctx.tokens_for(relations) or (),
+                    state.mode == MODE_STAR,
+                )
+                ctx.artifacts.put(key, reduced, _relation_bytes(reduced))
+                self.detail["cache"] = "miss"
         else:
-            left, right = relations
-            reduced = [
-                left.semijoin_y(right, name=left.name),
-                right.semijoin_y(left, name=right.name),
-            ]
+            reduced = self._reduce(relations, state.mode)
         state.relations = reduced
         self.detail["output_tuples"] = sum(len(r) for r in reduced)
         self.record_memory(in_bytes, _relation_bytes(reduced))
         if any(len(r) == 0 for r in reduced):
             state.finish_empty()
 
+    @staticmethod
+    def _reduce(relations: List[Relation], mode: str) -> List[Relation]:
+        if mode == MODE_STAR:
+            shared = relations[0].y_values()
+            for rel in relations[1:]:
+                shared = np.intersect1d(shared, rel.y_values(), assume_unique=True)
+            return [rel.restrict_y(shared, name=rel.name) for rel in relations]
+        left, right = relations
+        return [
+            left.semijoin_y(right, name=left.name),
+            right.semijoin_y(left, name=right.name),
+        ]
+
 
 class LightHeavyPartition(PhysicalOperator):
-    """Consult the optimizer, then split the inputs by degree thresholds."""
+    """Consult the optimizer, then split the inputs by degree thresholds.
+
+    Session-aware: the optimizer decision and the partition are cached by
+    (relation tokens, mode, config signature) — repeated queries skip both
+    the threshold search and the degree-based split.
+    """
 
     name = "light_heavy_partition"
 
@@ -137,15 +183,58 @@ class LightHeavyPartition(PhysicalOperator):
         self.decide = decide
 
     def run(self, state: ExecutionState) -> None:
+        ctx = state.session
+        in_bytes = _relation_bytes(state.relations)
+        key = (
+            ctx.key("partition", state.relations, state.mode,
+                    state.config.cache_signature())
+            if ctx is not None else None
+        )
+        if key is not None:
+            found, snapshot = ctx.artifacts.lookup(key)
+            if found:
+                self._restore(state, snapshot)
+                self.detail["cache"] = "hit"
+                self.record_memory(in_bytes, snapshot["out_bytes"])
+                return
+        out_bytes = self._partition(state)
+        if key is not None:
+            ctx.artifacts.put(key, self._snapshot(state, out_bytes), out_bytes)
+            self.detail["cache"] = "miss"
+        self.record_memory(in_bytes, out_bytes)
+
+    def _snapshot(self, state: ExecutionState, out_bytes: int) -> Dict[str, Any]:
+        detail = {k: v for k, v in self.detail.items()
+                  if k not in ("cache", "memory_in_bytes", "memory_out_bytes")}
+        return {
+            "decision": state.decision,
+            "strategy": state.strategy,
+            "partition": state.partition,
+            "delta1": state.delta1,
+            "delta2": state.delta2,
+            "fallback": state.fallback_combinatorial,
+            "detail": detail,
+            "out_bytes": int(out_bytes),
+        }
+
+    def _restore(self, state: ExecutionState, snapshot: Dict[str, Any]) -> None:
+        state.decision = snapshot["decision"]
+        state.strategy = snapshot["strategy"]
+        state.partition = snapshot["partition"]
+        state.delta1 = snapshot["delta1"]
+        state.delta2 = snapshot["delta2"]
+        state.fallback_combinatorial = snapshot["fallback"]
+        self.detail.update(snapshot["detail"])
+
+    def _partition(self, state: ExecutionState) -> int:
+        """Decide and split; returns the partition's byte size."""
         decision = self.decide(state)
         state.decision = decision
         state.strategy = decision.strategy
         self.detail["strategy"] = decision.strategy
-        in_bytes = _relation_bytes(state.relations)
         if decision.strategy == "wcoj":
             self.detail["reason"] = "optimizer chose plain worst-case optimal join"
-            self.record_memory(in_bytes, 0)
-            return
+            return 0
         delta1, delta2 = decision.delta1, decision.delta2
         if state.mode == MODE_COUNTS:
             state.partition = self._counting_partition(state, delta1)
@@ -153,8 +242,8 @@ class LightHeavyPartition(PhysicalOperator):
             state.delta2 = state.partition.delta1
             self.detail["heavy_witnesses"] = int(state.partition.heavy_y.size)
             self.detail["light_witnesses"] = int(state.partition.light_y.size)
-            out_bytes = int(state.partition.heavy_y.nbytes + state.partition.light_y.nbytes)
-        elif state.mode == MODE_STAR:
+            return int(state.partition.heavy_y.nbytes + state.partition.light_y.nbytes)
+        if state.mode == MODE_STAR:
             partition = partition_star(state.relations, delta1, delta2)
             state.partition = partition
             state.delta1 = partition.delta1
@@ -166,18 +255,16 @@ class LightHeavyPartition(PhysicalOperator):
                 state.fallback_combinatorial = True
                 self.detail["fallback"] = "empty heavy residual; full combinatorial join"
             self.detail["heavy_witnesses"] = int(partition.heavy_y.size)
-            out_bytes = _relation_bytes(partition.light_head) + _relation_bytes(partition.heavy)
-        else:
-            partition = partition_two_path(state.relations[0], state.relations[1], delta1, delta2)
-            state.partition = partition
-            state.delta1 = partition.delta1
-            state.delta2 = partition.delta2
-            self.detail["light_fraction"] = round(partition.light_fraction(), 4)
-            self.detail["heavy_witnesses"] = int(partition.heavy_y.size)
-            out_bytes = _relation_bytes(
-                [partition.r_light, partition.s_light, partition.r_heavy, partition.s_heavy]
-            )
-        self.record_memory(in_bytes, out_bytes)
+            return _relation_bytes(partition.light_head) + _relation_bytes(partition.heavy)
+        partition = partition_two_path(state.relations[0], state.relations[1], delta1, delta2)
+        state.partition = partition
+        state.delta1 = partition.delta1
+        state.delta2 = partition.delta2
+        self.detail["light_fraction"] = round(partition.light_fraction(), 4)
+        self.detail["heavy_witnesses"] = int(partition.heavy_y.size)
+        return _relation_bytes(
+            [partition.r_light, partition.s_light, partition.r_heavy, partition.s_heavy]
+        )
 
     @staticmethod
     def _counting_partition(state: ExecutionState, delta1: int) -> CountingPartition:
@@ -263,7 +350,13 @@ class CombinatorialLight(PhysicalOperator):
             for chunk in split_relation(partition.s_light, cores):
                 tasks.append((chunk, left, True))
         if tasks:
-            executor = ParallelExecutor(cores=cores)
+            # A session brings its own persistent pool; one-shot evaluation
+            # spins a throwaway executor up as before.
+            executor = (
+                state.session.executor(cores)
+                if state.session is not None
+                else ParallelExecutor(cores=cores)
+            )
             blocks = executor.map(_probe_chunk, tasks)
             # Worker blocks merge with one concat; a single packed-key
             # unique replaces the old per-chunk set unions.
@@ -301,7 +394,13 @@ class CombinatorialLight(PhysicalOperator):
 
 
 class MatMulHeavy(PhysicalOperator):
-    """Evaluate the all-heavy residual with one matrix product."""
+    """Evaluate the all-heavy residual with one matrix product.
+
+    Session-aware: the operand matrices (dense adjacency / CSR, per backend)
+    and the star query's grouped matrices are cached by (relation tokens,
+    mode, config signature, backend) — a warm query pays only the product
+    and the non-zero extraction.
+    """
 
     name = "matmul_heavy"
 
@@ -309,6 +408,28 @@ class MatMulHeavy(PhysicalOperator):
         super().__init__()
         self.registry = registry
         self._counts_in_bytes = 0  # heavy-restricted relations, set by _run_counts
+
+    def _cached_operands(self, state: ExecutionState, backend, builder):
+        """``(operands, build_seconds, cache_status)`` through the session cache.
+
+        ``operands`` is ``None`` (with status ``None``) when no session is
+        attached — the backend then builds internally exactly as before.
+        """
+        ctx = state.session
+        if ctx is None:
+            return None, 0.0, None
+        key = ctx.key("operands", state.relations, state.mode,
+                      state.config.cache_signature(), backend.name)
+        if key is None:
+            return None, 0.0, None
+        found, operands = ctx.artifacts.lookup(key)
+        if found:
+            return operands, 0.0, "hit"
+        start = time.perf_counter()
+        operands = builder()
+        build_seconds = time.perf_counter() - start
+        ctx.artifacts.put(key, operands, sum(_matrix_nbytes(m) for m in operands))
+        return operands, build_seconds, "miss"
 
     def run(self, state: ExecutionState) -> None:
         if state.strategy == "wcoj":
@@ -356,10 +477,19 @@ class MatMulHeavy(PhysicalOperator):
         backend = self._select(
             state, dims, len(partition.r_heavy), len(partition.s_heavy)
         )
+        operands, cached_build, cache_status = self._cached_operands(
+            state, backend,
+            lambda: backend.build_operands(
+                partition.r_heavy, partition.s_heavy, rows, mids, cols
+            ),
+        )
         block, build_seconds, multiply_seconds = backend.heavy_pairs(
             partition.r_heavy, partition.s_heavy, rows, mids, cols,
-            cores=state.config.cores,
+            cores=state.config.cores, operands=operands,
         )
+        if cache_status is not None:
+            self.detail["cache"] = cache_status
+            build_seconds = cached_build
         state.heavy_block = block
         self.detail["build_seconds"] = build_seconds
         self.detail["multiply_seconds"] = multiply_seconds
@@ -374,18 +504,41 @@ class MatMulHeavy(PhysicalOperator):
             self.detail["multiply_seconds"] = 0.0
             return
         left, right = state.relations
-        left_heavy = left.restrict_y(heavy_y, name=f"{left.name}+")
-        right_heavy = right.restrict_y(heavy_y, name=f"{right.name}+")
+        ctx = state.session
+        inputs = None
+        inputs_key = (
+            ctx.key("heavy_inputs", state.relations, state.mode,
+                    state.config.cache_signature())
+            if ctx is not None else None
+        )
+        if inputs_key is not None:
+            found, inputs = ctx.artifacts.lookup(inputs_key)
+            if not found:
+                inputs = None
+        if inputs is None:
+            left_heavy = left.restrict_y(heavy_y, name=f"{left.name}+")
+            right_heavy = right.restrict_y(heavy_y, name=f"{right.name}+")
+            inputs = (left_heavy, right_heavy)
+            if inputs_key is not None:
+                ctx.artifacts.put(inputs_key, inputs, _relation_bytes(inputs))
+        left_heavy, right_heavy = inputs
         self._counts_in_bytes = _relation_bytes([left_heavy, right_heavy])
         rows = left_heavy.x_values()
         cols = right_heavy.x_values()
         dims = (int(rows.size), int(heavy_y.size), int(cols.size))
         state.matrix_dims = dims
         backend = self._select(state, dims, len(left_heavy), len(right_heavy))
+        operands, cached_build, cache_status = self._cached_operands(
+            state, backend,
+            lambda: backend.build_operands(left_heavy, right_heavy, rows, heavy_y, cols),
+        )
         counted, build_seconds, multiply_seconds = backend.heavy_counts(
             left_heavy, right_heavy, rows, heavy_y, cols,
-            cores=state.config.cores,
+            cores=state.config.cores, operands=operands,
         )
+        if cache_status is not None:
+            self.detail["cache"] = cache_status
+            build_seconds = cached_build
         state.heavy_counted = counted
         self.detail["build_seconds"] = build_seconds
         self.detail["multiply_seconds"] = multiply_seconds
@@ -397,9 +550,27 @@ class MatMulHeavy(PhysicalOperator):
         heavy_y = partition.heavy_y
         k = len(heavy_relations)
         split = (k + 1) // 2
+        ctx = state.session
+        key = (
+            ctx.key("star_operands", state.relations, state.config.cache_signature())
+            if ctx is not None else None
+        )
+        cached = None
+        if key is not None:
+            found, cached = ctx.artifacts.lookup(key)
+            if not found:
+                cached = None
         build_start = time.perf_counter()
-        rows_a, matrix_a = _group_matrix(heavy_relations, list(range(split)), heavy_y)
-        rows_b, matrix_b = _group_matrix(heavy_relations, list(range(split, k)), heavy_y)
+        if cached is not None:
+            rows_a, matrix_a, rows_b, matrix_b = cached
+            self.detail["cache"] = "hit"
+        else:
+            rows_a, matrix_a = _group_matrix(heavy_relations, list(range(split)), heavy_y)
+            rows_b, matrix_b = _group_matrix(heavy_relations, list(range(split, k)), heavy_y)
+            if key is not None:
+                value = (rows_a, matrix_a, rows_b, matrix_b)
+                ctx.artifacts.put(key, value, sum(_matrix_nbytes(m) for m in value))
+                self.detail["cache"] = "miss"
         build_seconds = time.perf_counter() - build_start
         dims = (rows_a.shape[0], int(heavy_y.size), rows_b.shape[0])
         state.matrix_dims = dims

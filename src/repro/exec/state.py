@@ -54,6 +54,11 @@ class ExecutionState:
     mode: str = MODE_PAIRS
     relations: List[Relation] = field(default_factory=list)
 
+    # Session context (duck-typed ``repro.serve.session.SessionContext``):
+    # operators consult its artifact caches and persistent executor when
+    # present, and fall back to stateless evaluation when ``None``.
+    session: Optional[Any] = None
+
     # Populated by LightHeavyPartition.
     decision: Optional[OptimizerDecision] = None
     strategy: str = "mmjoin"

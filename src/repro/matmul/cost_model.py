@@ -80,6 +80,33 @@ class MatMulCostModel:
         """Whether at least one measured point is available."""
         return bool(self._table)
 
+    def observe(self, u: int, v: int, w: int, cores: int = 1,
+                seconds: float = 0.0, blend: float = 0.5) -> None:
+        """Fold one *measured* rectangular product into the calibration table.
+
+        This is the serving layer's feedback loop: every heavy matrix product
+        a session executes reports its true wall-clock time, which is mapped
+        to the equivalent cube (side ``(u*v*w)^(1/3)``) and blended into the
+        table entry for that side (exponential moving average with weight
+        ``blend``), exactly where :meth:`estimate` will look next time.  The
+        optimizer's threshold search and the registry's ``auto`` backend
+        choice both read these estimates, so they calibrate in-session
+        without an explicit :meth:`calibrate` pass.
+        """
+        if u <= 0 or v <= 0 or w <= 0 or seconds <= 0.0:
+            return
+        single_core = float(seconds) * self.speedup(cores)
+        side = max(int(round((float(u) * float(v) * float(w)) ** (1.0 / 3.0))), 1)
+        # Normalise the measured rectangular time to the equivalent cube's
+        # time so the entry is comparable with calibrate()'s square timings.
+        ops = 2.0 * float(u) * float(v) * float(w)
+        cube_seconds = single_core * (2.0 * float(side) ** 3) / ops
+        previous = self._table.get(side)
+        if previous is None:
+            self._table[side] = cube_seconds
+        else:
+            self._table[side] = blend * cube_seconds + (1.0 - blend) * previous
+
     def set_table(self, table: Dict[int, float]) -> None:
         """Install a pre-measured calibration table (e.g. loaded from disk)."""
         self._table = {int(k): float(v) for k, v in table.items()}

@@ -105,10 +105,16 @@ class MatMulBackend(abc.ABC):
         cols: Sequence[int],
         threshold: float = 0.5,
         cores: int = 1,
+        operands=None,
     ) -> Tuple[PairBlock, float, float]:
-        """Output-pair block of the heavy residual plus (build, multiply) seconds."""
+        """Output-pair block of the heavy residual plus (build, multiply) seconds.
+
+        ``operands`` may carry a prebuilt ``(m1, m2)`` pair in this backend's
+        native layout (e.g. out of a session's operand cache); construction
+        is then skipped and the reported build time is zero.
+        """
         return self._heavy(left_heavy, right_heavy, rows, mids, cols, threshold,
-                           cores, self.extract_pairs)
+                           cores, self.extract_pairs, operands)
 
     def heavy_counts(
         self,
@@ -119,15 +125,21 @@ class MatMulBackend(abc.ABC):
         cols: Sequence[int],
         threshold: float = 0.5,
         cores: int = 1,
+        operands=None,
     ) -> Tuple[CountedPairBlock, float, float]:
         """Witness-count block of the heavy residual plus (build, multiply) seconds."""
         return self._heavy(left_heavy, right_heavy, rows, mids, cols, threshold,
-                           cores, self.extract_counts)
+                           cores, self.extract_counts, operands)
 
-    def _heavy(self, left_heavy, right_heavy, rows, mids, cols, threshold, cores, extract):
-        build_start = time.perf_counter()
-        m1, m2 = self.build_operands(left_heavy, right_heavy, rows, mids, cols)
-        build_seconds = time.perf_counter() - build_start
+    def _heavy(self, left_heavy, right_heavy, rows, mids, cols, threshold, cores,
+               extract, operands=None):
+        if operands is None:
+            build_start = time.perf_counter()
+            m1, m2 = self.build_operands(left_heavy, right_heavy, rows, mids, cols)
+            build_seconds = time.perf_counter() - build_start
+        else:
+            m1, m2 = operands
+            build_seconds = 0.0
         multiply_start = time.perf_counter()
         product = self.multiply(m1, m2, cores=cores)
         result = extract(product, rows, cols, threshold)

@@ -24,10 +24,11 @@ set unions — and the dense backend row-partitions the heavy product via
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Set, Tuple, TypeVar
+from typing import Callable, List, Optional, Sequence, Set, Tuple, TypeVar
 
 import numpy as np
 
@@ -42,19 +43,47 @@ Pair = Tuple[int, int]
 
 @dataclass
 class ParallelExecutor:
-    """A small thread-pool wrapper with chunking helpers."""
+    """A small thread-pool wrapper with chunking helpers.
+
+    With ``persistent=True`` the executor keeps one thread pool alive across
+    ``map`` calls instead of spinning a fresh pool up per call — the serving
+    layer (:class:`~repro.serve.session.QuerySession`) hands every operator
+    the same persistent executor so repeated queries skip pool start-up.
+    """
 
     cores: int = 1
+    persistent: bool = False
 
     def __post_init__(self) -> None:
         self.cores = max(int(self.cores), 1)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
 
     def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``func`` to every item, in parallel when cores > 1."""
         if self.cores == 1 or len(items) <= 1:
             return [func(item) for item in items]
+        if self.persistent:
+            return list(self._ensure_pool().map(func, items))
         with ThreadPoolExecutor(max_workers=self.cores) as pool:
             return list(pool.map(func, items))
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        # Locked: concurrent first calls racing here would each build a pool
+        # and leak whichever one loses the assignment.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.cores, thread_name_prefix="repro-parallel"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op for per-call pools)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
 
     def chunks(self, items: Sequence[T]) -> List[Sequence[T]]:
         """Split a sequence into one contiguous chunk per core."""
@@ -125,6 +154,7 @@ def parallel_two_path(
     delta2: int,
     cores: int = 1,
     config: MMJoinConfig = DEFAULT_CONFIG,
+    session=None,
 ) -> ParallelJoinResult:
     """Evaluate the 2-path MMJoin with explicit thresholds across ``cores`` workers.
 
@@ -132,6 +162,10 @@ def parallel_two_path(
     through the shared planner pipeline; the explicit thresholds pin the
     strategy to mmjoin and ``cores`` drives both the chunked light probing
     and the row-partitioned heavy product.
+
+    ``session`` attaches a :class:`~repro.serve.session.QuerySession`: the
+    evaluation then reuses the session's cached layouts/partitions and its
+    persistent worker pool instead of spinning fresh ones up per call.
     """
     # Imported lazily: the planner pipeline's operators use this module's
     # chunking helpers, so a module-level import would be circular.
@@ -140,8 +174,13 @@ def parallel_two_path(
 
     start = time.perf_counter()
     run_config = config.with_thresholds(delta1, delta2).with_cores(cores)
-    planner = Planner(config=run_config)
-    plan = planner.execute(TwoPathQuery(left=left, right=right))
+    if session is not None:
+        plan = session.evaluate(
+            TwoPathQuery(left=left, right=right), use_memo=False, config=run_config
+        ).plan
+    else:
+        planner = Planner(config=run_config)
+        plan = planner.execute(TwoPathQuery(left=left, right=right))
     state = plan.state
     assert state is not None
     return ParallelJoinResult(

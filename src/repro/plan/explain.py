@@ -63,6 +63,10 @@ class PlanExplanation:
     estimated_total_cost: float = 0.0
     estimated_output: float = 0.0
     output_size: int = 0
+    # Session-serving metadata: per-plan operator cache hit/miss counts and
+    # the session artifact-cache counters at explain() time (empty when the
+    # plan ran outside a session).
+    session_stats: Dict[str, Any] = field(default_factory=dict)
 
     def operator_names(self) -> List[str]:
         """Names of the operators that actually ran."""
@@ -82,6 +86,8 @@ class PlanExplanation:
         }
         for op in self.operators:
             details[f"op.{op.operator}.seconds"] = op.actual_seconds
+        for key, value in self.session_stats.items():
+            details[f"session.{key}"] = value
         return details
 
     def format(self) -> str:
@@ -105,5 +111,10 @@ class PlanExplanation:
                 f"{op.estimated_cost:>13.6g} {op.actual_seconds:>11.6g}"
             )
             for key, value in op.detail.items():
+                lines.append(f"    {key} = {value}")
+        if self.session_stats:
+            lines.append("")
+            lines.append("session:")
+            for key, value in self.session_stats.items():
                 lines.append(f"    {key} = {value}")
         return "\n".join(lines)

@@ -19,7 +19,7 @@ partitioning or the light/heavy phases on its own any more.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
 from repro.core.optimizer import CostBasedOptimizer, OptimizerDecision
@@ -52,11 +52,13 @@ class PhysicalPlan:
         config: MMJoinConfig,
         operators: List[PhysicalOperator],
         mode: str,
+        session: Optional[Any] = None,
     ) -> None:
         self.query = query
         self.config = config
         self.operators = operators
         self.mode = mode
+        self.session = session
         self.state: Optional[ExecutionState] = None
 
     @property
@@ -70,6 +72,7 @@ class PhysicalPlan:
             config=self.config,
             mode=self.mode,
             relations=list(self.query.join_relations()),
+            session=self.session,
         )
         for operator in self.operators:
             operator(state)
@@ -123,6 +126,20 @@ class PhysicalPlan:
                     detail=dict(operator.detail),
                 )
             )
+        cache_hits = sum(
+            1 for op in self.operators if op.detail.get("cache") == "hit"
+        )
+        cache_misses = sum(
+            1 for op in self.operators if op.detail.get("cache") == "miss"
+        )
+        session_stats: dict = {}
+        if self.session is not None:
+            session_stats = {
+                "operator_cache_hits": cache_hits,
+                "operator_cache_misses": cache_misses,
+                **{f"artifacts.{k}": v
+                   for k, v in self.session.artifacts.stats().items()},
+            }
         return PlanExplanation(
             query_kind=self.query.kind,
             strategy=state.strategy if state is not None else "unplanned",
@@ -134,6 +151,7 @@ class PhysicalPlan:
             estimated_total_cost=decision.estimated_cost if decision is not None else 0.0,
             estimated_output=decision.estimated_output if decision is not None else 0.0,
             output_size=state.output_size if state is not None else 0,
+            session_stats=session_stats,
         )
 
 
@@ -145,10 +163,14 @@ class Planner:
         config: MMJoinConfig = DEFAULT_CONFIG,
         registry: Optional[BackendRegistry] = None,
         optimizer: Optional[CostBasedOptimizer] = None,
+        session: Optional[Any] = None,
     ) -> None:
         self.config = config
         self.registry = registry if registry is not None else default_registry()
         self.optimizer = optimizer if optimizer is not None else CostBasedOptimizer(config=config)
+        # Session context (see repro.serve.session): threaded through every
+        # plan so the operators can consult the session's artifact caches.
+        self.session = session
 
     def create_plan(self, query: JoinProjectQuery) -> PhysicalPlan:
         """Lower ``query`` onto the five-operator physical pipeline."""
@@ -169,7 +191,8 @@ class Planner:
             MatMulHeavy(registry=self.registry),
             DedupMerge(),
         ]
-        return PhysicalPlan(query=query, config=self.config, operators=operators, mode=mode)
+        return PhysicalPlan(query=query, config=self.config, operators=operators,
+                            mode=mode, session=self.session)
 
     def execute(self, query: JoinProjectQuery) -> PhysicalPlan:
         """Convenience: plan and execute in one call, returning the plan."""

@@ -1,0 +1,31 @@
+"""Serving layer: long-lived query sessions with cached derived artifacts.
+
+Public surface:
+
+* :class:`~repro.serve.session.QuerySession` — register relations once,
+  serve many queries; batched (:meth:`~repro.serve.session.QuerySession.submit_batch`)
+  and async (:meth:`~repro.serve.session.QuerySession.asubmit`) entry points.
+* :class:`~repro.serve.artifacts.ArtifactCache` — the byte-budgeted LRU
+  underlying both the derived-artifact cache and the plan/result memo.
+* :class:`~repro.serve.feedback.CostFeedback` — estimated-vs-actual operator
+  costs, calibrating the session's matmul cost model.
+"""
+
+from repro.serve.artifacts import ArtifactCache
+from repro.serve.feedback import CostFeedback, FeedbackRow
+from repro.serve.session import (
+    QuerySession,
+    SessionContext,
+    SessionResult,
+    config_signature,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CostFeedback",
+    "FeedbackRow",
+    "QuerySession",
+    "SessionContext",
+    "SessionResult",
+    "config_signature",
+]

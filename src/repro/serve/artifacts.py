@@ -1,0 +1,147 @@
+"""LRU artifact cache with byte budgeting for the serving layer.
+
+A :class:`QuerySession <repro.serve.session.QuerySession>` amortises query
+preprocessing by caching *derived artifacts* — semijoin-reduced relation
+lists (whose lazy layouts, ``sorted_by_y`` and the y-indexes, stay warm with
+them), light/heavy partitions, matmul operand matrices, and memoized plan
+results.  All of them live in instances of one structure:
+
+* entries are keyed by structured tuples whose leaves embed
+  ``("rel", name, version)`` tokens, so a data mutation invalidates exactly
+  the artifacts derived from the mutated relation;
+* every entry carries its byte size; inserts evict least-recently-used
+  entries until the configured budget is met (single entries larger than the
+  whole budget are refused rather than thrashing the cache);
+* hits, misses, evictions and current bytes are counted — the counters feed
+  ``explain()`` details and the ``repro-cli session`` report.
+
+The cache is thread-safe: ``submit_batch`` fans query evaluation out across
+a thread pool and every worker consults the same caches.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+def token_mentions(token: Any, name: str) -> bool:
+    """Whether a (possibly nested) cache-key token references relation ``name``.
+
+    Leaf tokens look like ``("rel", name, version)``; derived tokens nest
+    their parents, e.g. ``("drv", "semijoin", (parent, parent), mode)``.
+    """
+    if isinstance(token, tuple):
+        if len(token) == 3 and token[0] == "rel":
+            return token[1] == name
+        return any(token_mentions(part, name) for part in token)
+    return False
+
+
+class ArtifactCache:
+    """A byte-budgeted, thread-safe LRU mapping for session artifacts."""
+
+    def __init__(self, max_bytes: Optional[int] = None, name: str = "artifacts") -> None:
+        self.name = name
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
+        self._entries: "OrderedDict[Any, Tuple[Any, int]]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insert
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: Any) -> Tuple[bool, Any]:
+        """``(found, value)``; counts a hit or a miss and refreshes LRU order."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, entry[0]
+
+    def put(self, key: Any, value: Any, nbytes: int) -> None:
+        """Insert (or replace) an entry, evicting LRU entries over budget."""
+        nbytes = max(int(nbytes), 0)
+        with self._lock:
+            if self.max_bytes is not None and nbytes > self.max_bytes:
+                # One artifact larger than the whole budget would immediately
+                # evict everything else and then itself; refuse instead.
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.current_bytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self.current_bytes += nbytes
+            if self.max_bytes is not None:
+                while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+                    _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                    self.current_bytes -= evicted_bytes
+                    self.evictions += 1
+
+    def get_or_build(self, key: Any, builder: Callable[[], Any],
+                     nbytes: Callable[[Any], int]) -> Tuple[Any, bool]:
+        """``(value, was_hit)`` — build and insert on miss."""
+        found, value = self.lookup(key)
+        if found:
+            return value, True
+        value = builder()
+        self.put(key, value, nbytes(value))
+        return value, False
+
+    # ------------------------------------------------------------------ #
+    # Invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate_where(self, predicate: Callable[[Any], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns count."""
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                _, nbytes = self._entries.pop(key)
+                self.current_bytes -= nbytes
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    def invalidate_relation(self, name: str) -> int:
+        """Drop every artifact derived from relation ``name`` (any version)."""
+        return self.invalidate_where(lambda key: token_mentions(key, name))
+
+    def clear(self) -> None:
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+            self.current_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (feeds explain() details and the CLI report)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (f"ArtifactCache({self.name!r}, entries={s['entries']}, "
+                f"bytes={s['bytes']}, hits={s['hits']}, misses={s['misses']})")

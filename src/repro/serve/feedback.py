@@ -1,0 +1,100 @@
+"""Estimated-vs-actual cost feedback for in-session calibration.
+
+Every executed plan reports, per physical operator, the optimizer's
+estimated cost (seconds) and the measured wall-clock seconds.  The serving
+layer closes the loop: :class:`CostFeedback` records those pairs and feeds
+the heavy operator's measured matrix products back into the session's
+:class:`~repro.matmul.cost_model.MatMulCostModel`, so the optimizer's
+threshold search and the registry's ``auto`` backend choice sharpen as the
+session serves traffic — the DIM³-style reuse of density/cost state across
+join-project calls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.matmul.cost_model import MatMulCostModel
+from repro.plan.explain import PlanExplanation
+
+# A long-lived session records feedback forever; keep a bounded window of
+# recent per-operator rows (the calibration itself folds into the cost
+# model's table, which is bounded by distinct cube sizes).
+MAX_FEEDBACK_ROWS = 2048
+
+
+@dataclass
+class FeedbackRow:
+    """One operator observation: estimate vs. measurement."""
+
+    operator: str
+    estimated_seconds: float
+    actual_seconds: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """``actual / estimated`` (None when the estimate is zero)."""
+        if self.estimated_seconds <= 0.0:
+            return None
+        return self.actual_seconds / self.estimated_seconds
+
+
+@dataclass
+class CostFeedback:
+    """Records per-operator estimate/measurement pairs and calibrates.
+
+    Parameters
+    ----------
+    cost_model:
+        The session's shared model.  Measured heavy matrix products are fed
+        into :meth:`MatMulCostModel.observe` so later estimates (and hence
+        threshold/backend choices) reflect the hardware actually serving the
+        session rather than the static flops fallback.
+    """
+
+    cost_model: Optional[MatMulCostModel] = None
+    rows: Deque[FeedbackRow] = field(
+        default_factory=lambda: deque(maxlen=MAX_FEEDBACK_ROWS)
+    )
+    observations: int = 0
+
+    def record(self, explanation: PlanExplanation, cores: int = 1) -> None:
+        """Fold one executed plan's explanation into the feedback state."""
+        for report in explanation.operators:
+            if report.status != "ran":
+                continue
+            self.rows.append(FeedbackRow(
+                operator=report.operator,
+                estimated_seconds=float(report.estimated_cost),
+                actual_seconds=float(report.actual_seconds),
+            ))
+            if report.operator != "matmul_heavy" or self.cost_model is None:
+                continue
+            dims = report.detail.get("matrix_dims")
+            multiply_seconds = float(report.detail.get("multiply_seconds", 0.0))
+            if not dims or min(dims) <= 0 or multiply_seconds <= 0.0:
+                continue
+            u, v, w = (int(d) for d in dims)
+            self.cost_model.observe(u, v, w, cores=cores, seconds=multiply_seconds)
+            self.observations += 1
+
+    def summary(self) -> List[Dict[str, object]]:
+        """Per-operator aggregate rows (printed by ``repro-cli session``)."""
+        grouped: Dict[str, List[FeedbackRow]] = {}
+        for row in self.rows:
+            grouped.setdefault(row.operator, []).append(row)
+        out: List[Dict[str, object]] = []
+        for operator in sorted(grouped):
+            rows = grouped[operator]
+            est = sum(r.estimated_seconds for r in rows)
+            act = sum(r.actual_seconds for r in rows)
+            out.append({
+                "operator": operator,
+                "runs": len(rows),
+                "estimated_seconds": round(est, 6),
+                "actual_seconds": round(act, 6),
+                "actual/estimated": round(act / est, 3) if est > 0 else float("nan"),
+            })
+        return out

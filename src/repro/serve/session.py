@@ -1,0 +1,609 @@
+"""QuerySession: the serving layer over the plan/operator pipeline.
+
+One-shot evaluation (``two_path_join`` and friends) pays full preprocessing
+on every call: semijoin reduction, y-sorted probe layouts, degree statistics,
+light/heavy partitioning and matmul operand construction are all rebuilt even
+when the same relations are queried again.  A :class:`QuerySession` owns that
+state across calls:
+
+* a **catalog** of registered relations / set families with per-name version
+  counters — re-registering a name bumps the version and invalidates every
+  artifact derived from it;
+* an **artifact cache** (:class:`~repro.serve.artifacts.ArtifactCache`) of
+  derived state keyed by relation tokens ``("rel", name, version)``:
+  semijoin-reduced relation lists (which keep their lazy ``sorted_by_y`` /
+  index layouts warm), light/heavy partitions with their optimizer
+  decisions, and matmul operand matrices;
+* a **plan/result memo** (LRU, byte-budgeted) short-circuiting repeated
+  queries entirely;
+* a **batched / async API** — :meth:`QuerySession.submit_batch` groups
+  compatible queries so semijoin-reduce and partition work is shared, then
+  fans the rest out through the persistent parallel executor;
+  :meth:`QuerySession.asubmit` serves the same evaluation from an asyncio
+  event loop;
+* a **cost feedback loop** (:class:`~repro.serve.feedback.CostFeedback`)
+  folding each plan's estimated-vs-actual operator costs back into the
+  session's shared :class:`~repro.matmul.cost_model.MatMulCostModel`, which
+  both the optimizer and the backend registry consult.
+
+The legacy one-shot functions are thin wrappers over a throwaway session,
+so there is exactly one evaluation path in the repository.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
+from repro.core.optimizer import CostBasedOptimizer
+from repro.data.catalog import Catalog
+from repro.data.pairblock import CountedPairBlock, PairBlock
+from repro.data.relation import Relation
+from repro.data.setfamily import SetFamily
+from repro.matmul.cost_model import MatMulCostModel
+from repro.matmul.registry import BackendRegistry, make_default_registry
+from repro.parallel.executor import ParallelExecutor
+from repro.plan.explain import PlanExplanation
+from repro.plan.planner import Planner
+from repro.plan.query import (
+    ContainmentJoinQuery,
+    JoinProjectQuery,
+    SimilarityJoinQuery,
+    StarQuery,
+    TwoPathQuery,
+)
+from repro.serve.artifacts import ArtifactCache, token_mentions
+from repro.serve.feedback import CostFeedback
+
+HeadTuple = Tuple[int, ...]
+
+
+def config_signature(config: MMJoinConfig) -> Tuple[Any, ...]:
+    """The config fields that can change a plan or its artifacts.
+
+    Partition, operand and memo cache keys embed this tuple so that, e.g.,
+    evaluating with explicit thresholds never reuses a partition cached for
+    the optimizer-driven path.  (Alias of
+    :meth:`~repro.core.config.MMJoinConfig.cache_signature`, which the
+    physical operators use directly to avoid importing the serving layer.)
+    """
+    return config.cache_signature()
+
+
+class SessionContext:
+    """The session state the physical operators see.
+
+    Operators duck-type against this object through ``state.session``: they
+    ask for cache keys (``None`` when a relation is not session-tracked, in
+    which case they fall back to stateless evaluation), consult
+    :attr:`artifacts`, and borrow the persistent parallel executor.  Derived
+    relations (e.g. the semijoin-reduced inputs) are *adopted* with derived
+    tokens so artifacts computed from them remain keyable.
+    """
+
+    def __init__(self, artifacts: ArtifactCache) -> None:
+        self.artifacts = artifacts
+        self._tokens: Dict[int, Tuple[Any, Relation]] = {}
+        self._executors: Dict[int, ParallelExecutor] = {}
+        self._lock = threading.RLock()
+
+    # -- token bookkeeping -------------------------------------------------
+    def bind(self, relation: Relation, token: Any) -> None:
+        """Associate a relation object with a cache-key token."""
+        with self._lock:
+            self._tokens[id(relation)] = (token, relation)
+
+    def adopt_derived(self, relations: Sequence[Relation], kind: str,
+                      parent_tokens: Sequence[Any], extra: Any = None) -> None:
+        """Bind derived relations under a token naming their derivation."""
+        for position, relation in enumerate(relations):
+            self.bind(relation, ("drv", kind, tuple(parent_tokens), extra, position))
+
+    def token_for(self, relation: Relation) -> Optional[Any]:
+        entry = self._tokens.get(id(relation))
+        return entry[0] if entry is not None else None
+
+    def tokens_for(self, relations: Iterable[Relation]) -> Optional[Tuple[Any, ...]]:
+        """Tokens for every relation, or ``None`` if any is untracked."""
+        tokens = []
+        for relation in relations:
+            token = self.token_for(relation)
+            if token is None:
+                return None
+            tokens.append(token)
+        return tuple(tokens)
+
+    def key(self, kind: str, relations: Sequence[Relation], *extra: Any) -> Optional[Any]:
+        """A structured cache key, or ``None`` when not session-keyable."""
+        tokens = self.tokens_for(relations)
+        if tokens is None:
+            return None
+        return (kind, tokens) + tuple(extra)
+
+    def unbind_relation(self, name: str) -> None:
+        """Forget tokens (base and derived) referencing relation ``name``."""
+        with self._lock:
+            doomed = [obj_id for obj_id, (token, _) in self._tokens.items()
+                      if token_mentions(token, name)]
+            for obj_id in doomed:
+                del self._tokens[obj_id]
+
+    # -- shared execution resources ---------------------------------------
+    def executor(self, cores: int) -> ParallelExecutor:
+        """A persistent (pool-reusing) executor for ``cores`` workers."""
+        cores = max(int(cores), 1)
+        with self._lock:
+            executor = self._executors.get(cores)
+            if executor is None:
+                executor = ParallelExecutor(cores=cores, persistent=True)
+                self._executors[cores] = executor
+            return executor
+
+    def close(self) -> None:
+        with self._lock:
+            for executor in self._executors.values():
+                executor.close()
+            self._executors.clear()
+
+
+@dataclass
+class SessionResult:
+    """One served query: columnar result plus execution metadata.
+
+    ``pairs`` / ``counts`` materialise Python sets/dicts lazily — the session
+    keeps everything columnar so memo entries and batch fan-out never pay the
+    tuple-conversion cost unless a consumer asks for it.
+    """
+
+    query_kind: str
+    result_block: Optional[PairBlock]
+    result_counted: Optional[CountedPairBlock]
+    explanation: Optional[PlanExplanation]
+    seconds: float
+    from_memo: bool = False
+    plan: Optional[Any] = None  # PhysicalPlan when freshly executed
+    _pairs_cache: Optional[Set[HeadTuple]] = field(default=None, repr=False)
+    _counts_cache: Optional[Dict[HeadTuple, int]] = field(default=None, repr=False)
+
+    @property
+    def output_size(self) -> int:
+        return len(self.result_block) if self.result_block is not None else 0
+
+    def __len__(self) -> int:
+        return self.output_size
+
+    @property
+    def pairs(self) -> Set[HeadTuple]:
+        if self._pairs_cache is None:
+            block = self.result_block
+            self._pairs_cache = block.to_set() if block is not None else set()
+        return self._pairs_cache
+
+    @property
+    def counts(self) -> Optional[Dict[HeadTuple, int]]:
+        if self.result_counted is None:
+            return None
+        if self._counts_cache is None:
+            self._counts_cache = self.result_counted.to_dict()
+        return self._counts_cache
+
+    @property
+    def strategy(self) -> str:
+        return self.explanation.strategy if self.explanation is not None else "unknown"
+
+    @property
+    def backend(self) -> str:
+        return self.explanation.backend if self.explanation is not None else "unknown"
+
+    def explain(self) -> str:
+        """Human-readable plan explanation (memo hits keep the original's)."""
+        if self.explanation is None:
+            return "no plan explanation available"
+        text = self.explanation.format()
+        if self.from_memo:
+            text = "result served from session memo (original execution below)\n" + text
+        return text
+
+
+def _blocks_nbytes(value: Tuple[Optional[PairBlock], Optional[CountedPairBlock], Any]) -> int:
+    block, counted, _ = value
+    total = 0
+    if block is not None:
+        total += block.nbytes
+    if counted is not None:
+        total += counted.nbytes
+    return total
+
+
+class QuerySession:
+    """A long-lived serving session over registered relations.
+
+    Parameters
+    ----------
+    config:
+        Default evaluation knobs; per-call overrides go through the query
+        methods' keyword arguments.
+    registry / cost_model:
+        Shared matmul state.  By default the session builds its **own**
+        cost model and registry so in-session feedback calibration never
+        leaks into other sessions or the process-wide defaults.
+    artifact_bytes / memo_bytes:
+        LRU byte budgets of the derived-artifact cache and the plan/result
+        memo (``None`` = unbounded).
+    feedback:
+        When True (default), every executed plan's estimated-vs-actual costs
+        are recorded and measured heavy products calibrate the cost model.
+    """
+
+    def __init__(
+        self,
+        config: MMJoinConfig = DEFAULT_CONFIG,
+        registry: Optional[BackendRegistry] = None,
+        cost_model: Optional[MatMulCostModel] = None,
+        artifact_bytes: Optional[int] = 256 << 20,
+        memo_bytes: Optional[int] = 64 << 20,
+        feedback: bool = True,
+    ) -> None:
+        self.config = config
+        if registry is not None:
+            self.registry = registry
+            self.cost_model = cost_model if cost_model is not None else registry.cost_model
+        else:
+            self.cost_model = cost_model if cost_model is not None else MatMulCostModel()
+            self.registry = make_default_registry(cost_model=self.cost_model)
+        self.catalog = Catalog()
+        self.artifacts = ArtifactCache(artifact_bytes, name="artifacts")
+        self.memo = ArtifactCache(memo_bytes, name="memo")
+        self.context = SessionContext(self.artifacts)
+        self.feedback = CostFeedback(cost_model=self.cost_model if feedback else None)
+        self._feedback_enabled = bool(feedback)
+        self._versions: Dict[str, int] = {}
+        self._families: Dict[str, SetFamily] = {}
+        self._planners: Dict[Tuple[Any, ...], Planner] = {}
+        self._anon_ids = itertools.count(1)
+        # Ad-hoc relations auto-register so their artifacts are keyable, but
+        # a long-lived session must not pin every relation it ever served:
+        # anonymous registrations are evicted FIFO beyond this bound.
+        self.max_anon_relations = 256
+        self._anon_names: "deque[str]" = deque()
+        self._async_pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.RLock()
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------ #
+    # Catalog management
+    # ------------------------------------------------------------------ #
+    def register(self, relation: Relation, name: Optional[str] = None) -> str:
+        """Register (or re-register) a relation; returns its catalog name.
+
+        Re-registering an existing name is the mutation path: the version is
+        bumped and every cached artifact or memoized result derived from the
+        old data is invalidated.
+        """
+        key = name or relation.name
+        with self._lock:
+            version = self._versions.get(key, -1) + 1
+            self._versions[key] = version
+            if version > 0:
+                self._invalidate(key)
+            self.catalog.add(relation, name=key)
+            self.context.bind(relation, ("rel", key, version))
+        return key
+
+    def register_family(self, family: SetFamily, name: Optional[str] = None) -> str:
+        """Register a set family (its backing relation joins the catalog)."""
+        key = self.register(family.relation, name=name)
+        with self._lock:
+            self._families[key] = family
+        return key
+
+    def update(self, name: str, relation: Relation) -> str:
+        """Replace the data under an existing name (bumps the version)."""
+        if name not in self.catalog:
+            raise KeyError(f"cannot update unregistered relation {name!r}")
+        with self._lock:
+            self._families.pop(name, None)
+        return self.register(relation, name=name)
+
+    def remove(self, name: str) -> None:
+        """Drop a relation and everything derived from it."""
+        with self._lock:
+            self.catalog.remove(name)
+            self._families.pop(name, None)
+            self._versions.pop(name, None)
+            self._invalidate(name)
+
+    def _invalidate(self, name: str) -> None:
+        self.artifacts.invalidate_relation(name)
+        self.memo.invalidate_relation(name)
+        self.context.unbind_relation(name)
+
+    def relation(self, name: str) -> Relation:
+        return self.catalog.get(name)
+
+    def family(self, name: str) -> SetFamily:
+        """The set-family view of a registered relation (built on demand)."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = SetFamily.from_relation(self.catalog.get(name))
+                self._families[name] = family
+            return family
+
+    def version(self, name: str) -> int:
+        return self._versions[name]
+
+    def names(self) -> List[str]:
+        return self.catalog.names()
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def _config_with(self, overrides: Dict[str, Any]) -> MMJoinConfig:
+        if not overrides:
+            return self.config
+        from dataclasses import replace
+
+        return replace(self.config, **overrides)
+
+    def planner_for(self, config: MMJoinConfig) -> Planner:
+        """One planner per config signature, all sharing the session state.
+
+        Exposed for session-aware adapters (e.g.
+        :class:`~repro.engines.registry.MMJoinEngine`) that need a planner
+        wired to this session's caches, registry and calibrated cost model.
+        """
+        signature = config_signature(config)
+        with self._lock:
+            planner = self._planners.get(signature)
+            if planner is None:
+                planner = Planner(
+                    config=config,
+                    registry=self.registry,
+                    optimizer=CostBasedOptimizer(
+                        config=config, matmul_model=self.cost_model
+                    ),
+                    session=self.context,
+                )
+                self._planners[signature] = planner
+            return planner
+
+    def _ensure_registered(self, query: JoinProjectQuery) -> None:
+        """Auto-register ad-hoc relations so their artifacts are keyable.
+
+        Anonymous names are bounded: past ``max_anon_relations`` the oldest
+        ad-hoc registration is dropped (tokens, artifacts and memo entries
+        with it), so serving a stream of fresh relations cannot grow the
+        session without bound.
+        """
+        for relation in query.join_relations():
+            if self.context.token_for(relation) is None:
+                name = f"~{relation.name}/{next(self._anon_ids)}"
+                self.register(relation, name=name)
+                with self._lock:
+                    self._anon_names.append(name)
+                    while len(self._anon_names) > self.max_anon_relations:
+                        self.remove(self._anon_names.popleft())
+
+    def _memo_query(self, query: JoinProjectQuery) -> JoinProjectQuery:
+        # Similarity/containment lower to the same counting two-path; memoize
+        # the lowered query so different overlap thresholds share one entry.
+        if isinstance(query, (SimilarityJoinQuery, ContainmentJoinQuery)):
+            return query.lower()
+        return query
+
+    def _memo_key(self, query: JoinProjectQuery, config: MMJoinConfig) -> Optional[Any]:
+        memo_query = self._memo_query(query)
+        tokens = self.context.tokens_for(memo_query.join_relations())
+        if tokens is None:
+            return None
+        return (
+            "memo",
+            tokens,
+            memo_query.kind,
+            memo_query.with_counts,
+            config_signature(config),
+        )
+
+    def evaluate(
+        self,
+        query: JoinProjectQuery,
+        use_memo: bool = True,
+        config: Optional[MMJoinConfig] = None,
+    ) -> SessionResult:
+        """Serve one logical query through the session-aware pipeline."""
+        run_config = config if config is not None else self.config
+        start = time.perf_counter()
+        self._ensure_registered(query)
+        key = self._memo_key(query, run_config) if use_memo else None
+        if key is not None:
+            found, value = self.memo.lookup(key)
+            if found:
+                block, counted, explanation = value
+                return SessionResult(
+                    query_kind=query.kind,
+                    result_block=block,
+                    result_counted=counted,
+                    explanation=explanation,
+                    seconds=time.perf_counter() - start,
+                    from_memo=True,
+                )
+        plan = self.planner_for(run_config).execute(query)
+        state = plan.state
+        explanation = plan.explain()
+        if self._feedback_enabled:
+            self.feedback.record(explanation, cores=run_config.cores)
+        with self._lock:
+            self.queries_served += 1
+        if key is not None:  # same key as the lookup: tokens already existed
+            value = (state.result_block, state.result_counted, explanation)
+            self.memo.put(key, value, _blocks_nbytes(value))
+        return SessionResult(
+            query_kind=query.kind,
+            result_block=state.result_block,
+            result_counted=state.result_counted,
+            explanation=explanation,
+            seconds=time.perf_counter() - start,
+            from_memo=False,
+            plan=plan,
+        )
+
+    # -- query-by-name convenience API -------------------------------------
+    def two_path(self, left: str, right: Optional[str] = None, counting: bool = False,
+                 use_memo: bool = True, **overrides: Any) -> SessionResult:
+        """Serve ``pi_{x,z}(left |><| right)`` over registered relations."""
+        left_rel = self.catalog.get(left)
+        right_rel = self.catalog.get(right) if right is not None else left_rel
+        query = TwoPathQuery(left=left_rel, right=right_rel, counting=counting)
+        return self.evaluate(query, use_memo=use_memo, config=self._config_with(overrides))
+
+    def star(self, names: Sequence[str], use_memo: bool = True,
+             **overrides: Any) -> SessionResult:
+        """Serve the projected star join over registered relations."""
+        query = StarQuery([self.catalog.get(name) for name in names])
+        return self.evaluate(query, use_memo=use_memo, config=self._config_with(overrides))
+
+    def similarity(self, name: str, c: int = 1, other: Optional[str] = None,
+                   use_memo: bool = True, **overrides: Any):
+        """Set similarity join over a registered family; returns ``SSJResult``.
+
+        The underlying counting two-path is memoized independently of ``c``,
+        so sweeping thresholds over the same family re-uses one evaluation.
+        """
+        from repro.setops.ssj import ssj_from_counted
+
+        family = self.family(name)
+        other_family = self.family(other) if other is not None else None
+        query = SimilarityJoinQuery(family=family, other=other_family, overlap=c)
+        result = self.evaluate(query, use_memo=use_memo, config=self._config_with(overrides))
+        assert result.result_counted is not None
+        return ssj_from_counted(
+            result.result_counted, c, self_join=other_family is None,
+            seconds=result.seconds,
+        )
+
+    def containment(self, name: str, other: Optional[str] = None,
+                    use_memo: bool = True, **overrides: Any):
+        """Set containment join over a registered family; returns ``SCJResult``."""
+        from repro.setops.scj import scj_from_counted
+
+        family = self.family(name)
+        other_family = self.family(other) if other is not None else None
+        query = ContainmentJoinQuery(family=family, other=other_family)
+        result = self.evaluate(query, use_memo=use_memo, config=self._config_with(overrides))
+        assert result.result_counted is not None
+        return scj_from_counted(
+            result.result_counted, family.sizes(), self_join=other_family is None,
+            seconds=result.seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batched / async serving
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _work_signature(query: JoinProjectQuery) -> Tuple[Any, ...]:
+        """Queries with equal signatures share semijoin/partition work."""
+        kind = "star" if isinstance(query, StarQuery) else "binary"
+        return (kind, tuple(id(rel) for rel in query.join_relations()))
+
+    def submit_batch(
+        self,
+        queries: Sequence[JoinProjectQuery],
+        use_memo: bool = True,
+    ) -> List[SessionResult]:
+        """Serve a batch, sharing preparation work and fanning out the rest.
+
+        Queries are grouped by the relations they touch: the first member of
+        each group runs synchronously, warming the semijoin-reduce and
+        partition caches every other member will hit; the remaining queries
+        then fan out across the session's serving pool.  Results come back
+        in submission order.
+
+        The fan-out runs on the dedicated serving pool (the same one
+        :meth:`asubmit` uses), never on the operator-level
+        :meth:`SessionContext.executor` pools — a follower's own parallel
+        light join borrows those, and sharing one pool between the outer
+        evaluations and their inner ``map`` calls would deadlock (every
+        worker blocked waiting for inner tasks that can never be scheduled).
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        for query in queries:
+            self._ensure_registered(query)
+        groups: Dict[Tuple[Any, ...], List[int]] = {}
+        for index, query in enumerate(queries):
+            groups.setdefault(self._work_signature(query), []).append(index)
+        results: List[Optional[SessionResult]] = [None] * len(queries)
+        followers: List[int] = []
+        for members in groups.values():
+            leader = members[0]
+            results[leader] = self.evaluate(queries[leader], use_memo=use_memo)
+            followers.extend(members[1:])
+        if followers:
+            pool = self._async_executor()
+            for index, result in zip(
+                followers,
+                pool.map(
+                    lambda i: self.evaluate(queries[i], use_memo=use_memo), followers
+                ),
+            ):
+                results[index] = result
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    async def asubmit(
+        self,
+        query: JoinProjectQuery,
+        use_memo: bool = True,
+        config: Optional[MMJoinConfig] = None,
+    ) -> SessionResult:
+        """Serve one query without blocking the calling event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._async_executor(),
+            lambda: self.evaluate(query, use_memo=use_memo, config=config),
+        )
+
+    def _async_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._async_pool is None:
+                self._async_pool = ThreadPoolExecutor(
+                    max_workers=max(int(self.config.cores), 2),
+                    thread_name_prefix="repro-session",
+                )
+            return self._async_pool
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def cache_stats(self) -> Dict[str, Any]:
+        """Counters for both caches plus serving totals (CLI report)."""
+        return {
+            "artifacts": self.artifacts.stats(),
+            "memo": self.memo.stats(),
+            "queries_served": self.queries_served,
+            "feedback_observations": self.feedback.observations,
+            "cost_model_points": len(self.cost_model.table()),
+        }
+
+    def close(self) -> None:
+        """Shut down the session's thread pools (caches just drop with it)."""
+        self.context.close()
+        with self._lock:
+            if self._async_pool is not None:
+                self._async_pool.shutdown(wait=True)
+                self._async_pool = None
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

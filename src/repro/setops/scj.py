@@ -88,30 +88,22 @@ def set_containment_join(
 # --------------------------------------------------------------------------- #
 # MMJoin-based SCJ
 # --------------------------------------------------------------------------- #
-def scj_mmjoin(
-    family: SetFamily,
-    containers: SetFamily,
-    config: MMJoinConfig = DEFAULT_CONFIG,
+def scj_from_counted(
+    counted,
+    sizes: Dict[int, int],
+    self_join: bool,
+    seconds: float = 0.0,
+    timings: Optional[Dict[str, float]] = None,
 ) -> SCJResult:
-    """SCJ via the counting join-project: ``a ⊆ b`` iff ``|a ∩ b| = |a|``.
+    """Turn a counted join-project result into containment pairs.
 
-    The containment join is a logical-plan instance: a
-    :class:`~repro.plan.query.ContainmentJoinQuery` lowered by the planner
-    onto the counting two-path pipeline; the ordered witness counts are
-    compared against each contained set's size columnar, on the pipeline's
+    The ordered witness counts are compared against each contained set's
+    size columnar, on the pipeline's
     :class:`~repro.data.pairblock.CountedPairBlock` — the Python pair set
-    materialises once, here, at the API boundary.
+    materialises once, here, at the API boundary.  Shared by
+    :func:`scj_mmjoin` and
+    :meth:`repro.serve.session.QuerySession.containment`.
     """
-    start = time.perf_counter()
-    self_join = containers is family
-    planner = Planner(config=config)
-    plan = planner.execute(
-        ContainmentJoinQuery(family=family, other=None if self_join else containers)
-    )
-    state = plan.state
-    counted = state.result_counted
-    assert counted is not None
-    sizes = family.sizes()
     a_col, b_col = counted.columns
     overlaps = counted.counts
     # Vectorized |a| lookup: one Python-level gather over the distinct
@@ -122,7 +114,7 @@ def scj_mmjoin(
         (sizes.get(int(v), default_size) for v in uniq_a),
         count=uniq_a.size,
         dtype=np.int64,
-    )[inverse]
+    )[inverse] if uniq_a.size else np.empty(0, dtype=np.int64)
     keep = overlaps >= required
     if self_join:
         keep &= a_col != b_col
@@ -130,6 +122,35 @@ def scj_mmjoin(
     return SCJResult(
         pairs=pairs,
         method="mmjoin",
+        timings=timings if timings is not None else {"total": seconds},
+    )
+
+
+def scj_mmjoin(
+    family: SetFamily,
+    containers: SetFamily,
+    config: MMJoinConfig = DEFAULT_CONFIG,
+    planner: Optional[Planner] = None,
+) -> SCJResult:
+    """SCJ via the counting join-project: ``a ⊆ b`` iff ``|a ∩ b| = |a|``.
+
+    The containment join is a logical-plan instance: a
+    :class:`~repro.plan.query.ContainmentJoinQuery` lowered by the planner
+    onto the counting two-path pipeline; :func:`scj_from_counted` applies
+    the size comparison.  ``planner`` lets a serving session pass its
+    session-aware planner so the evaluation hits the session caches.
+    """
+    start = time.perf_counter()
+    self_join = containers is family
+    planner = planner if planner is not None else Planner(config=config)
+    plan = planner.execute(
+        ContainmentJoinQuery(family=family, other=None if self_join else containers)
+    )
+    state = plan.state
+    counted = state.result_counted
+    assert counted is not None
+    return scj_from_counted(
+        counted, family.sizes(), self_join=self_join,
         timings={"total": time.perf_counter() - start, **state.timings},
     )
 

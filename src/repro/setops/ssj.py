@@ -105,35 +105,22 @@ def set_similarity_join(
 # --------------------------------------------------------------------------- #
 # MMJoin-based SSJ
 # --------------------------------------------------------------------------- #
-def ssj_mmjoin(
-    family: SetFamily,
-    c: int = 1,
-    other: Optional[SetFamily] = None,
-    config: MMJoinConfig = DEFAULT_CONFIG,
+def ssj_from_counted(
+    counted: CountedPairBlock,
+    c: int,
+    self_join: bool,
+    seconds: float = 0.0,
+    timings: Optional[Dict[str, float]] = None,
 ) -> SSJResult:
-    """SSJ via the counting MMJoin: keep join-project pairs with count >= c.
-
-    The similarity join is a logical-plan instance: a
-    :class:`~repro.plan.query.SimilarityJoinQuery` lowered by the planner
-    onto the counting two-path pipeline, with the overlap threshold applied
-    to the resulting witness counts here.
-
-    When ``other`` is given the join is between the two families and output
-    pairs are ``(id in family, id in other)``; otherwise it is a self-join
-    with canonical ``a < b`` pairs.
+    """Apply the overlap threshold to a counted join-project result.
 
     The threshold filter and the self-join canonicalisation run columnar on
     the pipeline's :class:`~repro.data.pairblock.CountedPairBlock`; the
     Python set/dict of :class:`SSJResult` materialise once, here, at the API
-    boundary.
+    boundary.  Shared by :func:`ssj_mmjoin` and
+    :meth:`repro.serve.session.QuerySession.similarity` (whose memoized
+    counting join is threshold-independent, so sweeping ``c`` reuses it).
     """
-    start = time.perf_counter()
-    planner = Planner(config=config)
-    plan = planner.execute(SimilarityJoinQuery(family=family, other=other, overlap=c))
-    state = plan.state
-    counted = state.result_counted
-    assert counted is not None
-    self_join = other is None
     a_col, b_col = counted.columns
     keep = counted.counts >= c
     if self_join:
@@ -145,12 +132,42 @@ def ssj_mmjoin(
             (np.minimum(a_col, b_col), np.maximum(a_col, b_col)), counted.counts
         ).dedup(reduce="max")  # (a,b) and (b,a) carry the same overlap
     counts = counted.to_dict()
-    pairs = set(counts)
     return SSJResult(
-        pairs=pairs,
+        pairs=set(counts),
         counts=counts,
         method="mmjoin",
         overlap=c,
+        timings=timings if timings is not None else {"total": seconds},
+    )
+
+
+def ssj_mmjoin(
+    family: SetFamily,
+    c: int = 1,
+    other: Optional[SetFamily] = None,
+    config: MMJoinConfig = DEFAULT_CONFIG,
+    planner: Optional[Planner] = None,
+) -> SSJResult:
+    """SSJ via the counting MMJoin: keep join-project pairs with count >= c.
+
+    The similarity join is a logical-plan instance: a
+    :class:`~repro.plan.query.SimilarityJoinQuery` lowered by the planner
+    onto the counting two-path pipeline, with the overlap threshold applied
+    to the resulting witness counts by :func:`ssj_from_counted`.
+
+    When ``other`` is given the join is between the two families and output
+    pairs are ``(id in family, id in other)``; otherwise it is a self-join
+    with canonical ``a < b`` pairs.  ``planner`` lets a serving session pass
+    its session-aware planner so the evaluation hits the session caches.
+    """
+    start = time.perf_counter()
+    planner = planner if planner is not None else Planner(config=config)
+    plan = planner.execute(SimilarityJoinQuery(family=family, other=other, overlap=c))
+    state = plan.state
+    counted = state.result_counted
+    assert counted is not None
+    return ssj_from_counted(
+        counted, c, self_join=other is None,
         timings={"total": time.perf_counter() - start, **state.timings},
     )
 

@@ -1,12 +1,57 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis policy for the test suite."""
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
+from hypothesis import settings
 
 from repro.data import generators
 from repro.data.relation import Relation
 from repro.data.setfamily import SetFamily
+
+# ---------------------------------------------------------------------------
+# Hypothesis policy: property tests must be deterministic in CI.
+#
+# * no deadline anywhere — shared CI runners make per-example timing flaky;
+# * the "ci" profile derandomizes generation (a fixed seed derived from each
+#   test), so a CI failure reproduces locally with HYPOTHESIS_PROFILE=ci.
+# ---------------------------------------------------------------------------
+settings.register_profile("ci", deadline=None, derandomize=True, print_blob=True)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(
+    "ci" if os.environ.get("CI") else os.environ.get("HYPOTHESIS_PROFILE", "dev")
+)
+
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+
+@pytest.fixture
+def golden(request):
+    """Compare text against a checked-in golden file (``--update-goldens`` rewrites).
+
+    Usage: ``golden("explain_two_path", normalized_text)``.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def _check(name: str, text: str) -> None:
+        path = GOLDENS_DIR / f"{name}.txt"
+        if update:
+            GOLDENS_DIR.mkdir(exist_ok=True)
+            path.write_text(text + "\n", encoding="utf-8")
+            return
+        assert path.exists(), (
+            f"golden file {path} is missing; run pytest --update-goldens to create it"
+        )
+        expected = path.read_text(encoding="utf-8").rstrip("\n")
+        assert text == expected, (
+            f"explain() output drifted from {path.name}; inspect the diff and run "
+            "pytest --update-goldens if the change is intended"
+        )
+
+    return _check
 
 
 @pytest.fixture

@@ -111,3 +111,47 @@ class TestCommands:
         assert main(["explain", edge_file, "--delta1", "1", "--delta2", "1",
                      "--backend", "sparse"]) == 0
         assert "sparse" in capsys.readouterr().out
+
+    def test_session_command(self, edge_file, capsys):
+        assert main(["session", edge_file, "--repeat", "2",
+                     "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "operator_cache_hits" in out
+        assert "artifact cache:" in out and "feedback:" in out
+        rows = {line.split("|")[0].strip(): line for line in out.splitlines()
+                if "|" in line}
+        # The cold run executes; every warm run serves from the memo.
+        assert "miss" in rows["cold"]
+        assert "hit" in rows["warm1"] and "hit" in rows["warm2"]
+
+    def test_session_no_memo_shows_operator_hits(self, edge_file, capsys):
+        assert main(["session", edge_file, "--repeat", "1", "--no-memo",
+                     "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        # Without the memo every run executes; the warm run hits the
+        # semijoin/partition/operand caches instead.
+        assert "estimated vs actual operator cost" in out
+
+    def test_serve_command_script(self, edge_file, capsys, tmp_path):
+        script = tmp_path / "commands.txt"
+        script.write_text(
+            "# warm-up\ntwo-path\ntwo-path\nstar 2\nssj 1\nscj\nstats\nnope\nquit\n",
+            encoding="utf-8",
+        )
+        assert main(["serve", edge_file, "--script", str(script),
+                     "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serving R" in out
+        assert "two-path:" in out and "memo hit" in out
+        assert "star(2):" in out
+        assert "ssj(c=1):" in out and "scj:" in out
+        assert "queries_served" in out
+        assert "unknown command: nope" in out
+
+    def test_serve_command_stdin(self, edge_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("two-path\nexplain\nquit\n"))
+        assert main(["serve", edge_file, "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "two-path:" in out and "strategy: mmjoin" in out

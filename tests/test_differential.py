@@ -1,0 +1,187 @@
+"""Cross-engine differential harness.
+
+Every registered query engine, every matmul backend, serial and parallel
+execution, and the session-cached vs. cold paths must produce *identical*
+pair sets (and witness counts where applicable) on random queries drawn from
+the shared strategies.  The combinatorial baseline is the oracle.
+
+All properties run derandomized (a fixed hypothesis seed per test), so the
+harness is deterministic in CI and a failure reproduces locally verbatim.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from strategies import relation_lists, relation_pairs, set_families
+
+from repro.core.config import MMJoinConfig
+from repro.core.two_path import two_path_join, two_path_join_counts
+from repro.engines.registry import available_engines, make_engine
+from repro.joins.baseline import combinatorial_star, combinatorial_two_path
+from repro.joins.hash_join import hash_join_project_counts
+from repro.matmul.registry import make_default_registry
+from repro.plan.query import StarQuery, TwoPathQuery
+from repro.serve import QuerySession
+from repro.setops.scj import scj_bruteforce
+from repro.setops.ssj import ssj_bruteforce
+
+ALL_ENGINES = available_engines()
+ALL_BACKENDS = make_default_registry().names()
+CORE_COUNTS = (1, 2)
+
+# Derandomized: the whole differential harness runs under fixed seeds.
+DIFF_SETTINGS = dict(max_examples=6, deadline=None, derandomize=True)
+
+
+# --------------------------------------------------------------------------- #
+# Engines
+# --------------------------------------------------------------------------- #
+class TestEnginesAgree:
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_two_path_identical_across_engines(self, pair):
+        left, right = pair
+        expected = combinatorial_two_path(left, right)
+        for name in ALL_ENGINES:
+            engine = make_engine(name)
+            assert engine.two_path(left, right) == expected, name
+            assert engine.two_path_block(left, right).to_set() == expected, name
+
+    @settings(**DIFF_SETTINGS)
+    @given(rels=relation_lists(max_size=50))
+    def test_star_identical_across_engines(self, rels):
+        expected = combinatorial_star(rels)
+        for name in ALL_ENGINES:
+            engine = make_engine(name)
+            assert engine.star(rels) == expected, name
+            assert engine.star_block(rels).to_set() == expected, name
+
+
+# --------------------------------------------------------------------------- #
+# MMJoin x backend x serial-vs-parallel
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("cores", CORE_COUNTS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestBackendParallelGrid:
+    def _config(self, backend: str, cores: int) -> MMJoinConfig:
+        # delta1 = delta2 = 1 routes as much work as possible through the
+        # chosen matrix backend.
+        return MMJoinConfig(delta1=1, delta2=1, matrix_backend=backend, cores=cores)
+
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_pairs_identical(self, backend, cores, pair):
+        left, right = pair
+        expected = combinatorial_two_path(left, right)
+        config = self._config(backend, cores)
+        assert two_path_join(left, right, config=config).pairs == expected
+        engine = make_engine("mmjoin", config=config)
+        assert engine.two_path(left, right) == expected
+
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_counts_identical(self, backend, cores, pair):
+        left, right = pair
+        expected = hash_join_project_counts(left, right)
+        config = self._config(backend, cores)
+        assert two_path_join_counts(left, right, config=config).counts == expected
+
+
+# --------------------------------------------------------------------------- #
+# Session-cached vs cold paths
+# --------------------------------------------------------------------------- #
+class TestSessionAgreesWithCold:
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_memoized_and_warm_match_cold(self, pair):
+        left, right = pair
+        expected = combinatorial_two_path(left, right)
+        with QuerySession(config=MMJoinConfig(delta1=2, delta2=2)) as session:
+            session.register(left, name="L")
+            session.register(right, name="R")
+            cold = session.two_path("L", "R")
+            memo = session.two_path("L", "R")
+            warm = session.two_path("L", "R", use_memo=False)
+            warm2 = session.two_path("L", "R", use_memo=False)
+        assert cold.pairs == expected
+        assert memo.pairs == expected and memo.from_memo
+        assert warm.pairs == expected and not warm.from_memo
+        assert warm2.pairs == expected
+
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_counting_session_matches_cold(self, pair):
+        left, right = pair
+        expected = hash_join_project_counts(left, right)
+        with QuerySession(config=MMJoinConfig(delta1=2, delta2=2)) as session:
+            session.register(left, name="L")
+            session.register(right, name="R")
+            cold = session.two_path("L", "R", counting=True)
+            warm = session.two_path("L", "R", counting=True, use_memo=False)
+        assert cold.counts == expected
+        assert warm.counts == expected
+
+    @settings(**DIFF_SETTINGS)
+    @given(rels=relation_lists(max_size=50))
+    def test_star_session_matches_cold(self, rels):
+        expected = combinatorial_star(rels)
+        with QuerySession(config=MMJoinConfig(delta1=2, delta2=2)) as session:
+            names = [session.register(rel, name=f"R{i}") for i, rel in enumerate(rels)]
+            cold = session.star(names)
+            memo = session.star(names)
+            warm = session.star(names, use_memo=False)
+        assert cold.pairs == expected
+        assert memo.pairs == expected and memo.from_memo
+        assert warm.pairs == expected
+
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_batch_and_async_match_cold(self, pair):
+        import asyncio
+
+        left, right = pair
+        expected_pairs = combinatorial_two_path(left, right)
+        expected_counts = hash_join_project_counts(left, right)
+        with QuerySession(config=MMJoinConfig(delta1=2, delta2=2)) as session:
+            queries = [
+                TwoPathQuery(left=left, right=right),
+                TwoPathQuery(left=left, right=right, counting=True),
+                StarQuery([left, right]),
+            ]
+            batch = session.submit_batch(queries)
+            assert batch[0].pairs == expected_pairs
+            assert batch[1].counts == expected_counts
+            assert batch[2].pairs == combinatorial_star([left, right])
+            async_result = asyncio.run(
+                session.asubmit(TwoPathQuery(left=left, right=right))
+            )
+        assert async_result.pairs == expected_pairs
+
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    @given(family=set_families(max_size=60))
+    def test_ssj_scj_session_matches_bruteforce(self, family):
+        expected_ssj = ssj_bruteforce(family, c=2)
+        expected_scj = scj_bruteforce(family, family)
+        with QuerySession(config=MMJoinConfig(delta1=2, delta2=2)) as session:
+            session.register_family(family, name="F")
+            cold_ssj = session.similarity("F", c=2)
+            warm_ssj = session.similarity("F", c=2)  # memo-served counting join
+            cold_scj = session.containment("F")
+        assert cold_ssj.pairs == expected_ssj.pairs
+        assert cold_ssj.counts == expected_ssj.counts
+        assert warm_ssj.pairs == expected_ssj.pairs
+        assert cold_scj.pairs == expected_scj.pairs
+
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=60))
+    def test_mutation_invalidates_and_recomputes(self, pair):
+        left, right = pair
+        with QuerySession(config=MMJoinConfig(delta1=2, delta2=2)) as session:
+            session.register(left, name="L")
+            session.register(right, name="R")
+            assert session.two_path("L", "R").pairs == combinatorial_two_path(left, right)
+            session.update("L", right)  # replace L's data with R's
+            fresh = session.two_path("L", "R")
+            assert not fresh.from_memo
+            assert fresh.pairs == combinatorial_two_path(right, right)

@@ -1,0 +1,90 @@
+"""Engines stay columnar until the API boundary.
+
+Every registered engine exposes ``two_path_block`` / ``star_block`` returning
+a :class:`~repro.data.pairblock.PairBlock`, and its set-returning ``two_path``
+/ ``star`` methods are thin boundary wrappers: exactly one ``to_set()`` call,
+after all internal work.  The tests instrument ``PairBlock.to_set`` to prove
+no engine materialises Python sets internally any more (the historical bug in
+``sql_engine.py`` / ``setintersection.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from strategies import skewed_random_relation
+
+from repro.data.pairblock import PairBlock
+from repro.engines.registry import available_engines, make_engine
+from repro.joins.baseline import combinatorial_star, combinatorial_two_path
+
+ENGINES = available_engines()
+
+
+@pytest.fixture
+def to_set_calls(monkeypatch):
+    """Counts every PairBlock.to_set() materialisation while active."""
+    calls = []
+    original = PairBlock.to_set
+
+    def counting(self):
+        calls.append(self)
+        return original(self)
+
+    monkeypatch.setattr(PairBlock, "to_set", counting)
+    return calls
+
+
+def _inputs():
+    left = skewed_random_relation(11, n_pairs=160, x_domain=25, y_domain=18, name="R")
+    right = skewed_random_relation(12, n_pairs=160, x_domain=25, y_domain=18, name="S")
+    return left, right
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_two_path_block_is_columnar_and_correct(name, to_set_calls):
+    left, right = _inputs()
+    engine = make_engine(name)
+    block = engine.two_path_block(left, right)
+    assert isinstance(block, PairBlock)
+    assert len(to_set_calls) == 0, (
+        f"{name}: block evaluation materialised a Python set internally"
+    )
+    assert block.to_set() == combinatorial_two_path(left, right)
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_two_path_set_materialises_exactly_once(name, to_set_calls):
+    left, right = _inputs()
+    engine = make_engine(name)
+    expected = combinatorial_two_path(left, right)
+    del to_set_calls[:]  # the oracle above may have converted blocks itself
+    assert engine.two_path(left, right) == expected
+    assert len(to_set_calls) == 1, (
+        f"{name}: expected exactly one to_set() at the API boundary, "
+        f"saw {len(to_set_calls)}"
+    )
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_star_block_is_columnar_and_correct(name, to_set_calls):
+    left, right = _inputs()
+    relations = [left, right, skewed_random_relation(13, n_pairs=120,
+                                                     x_domain=20, y_domain=18,
+                                                     name="T")]
+    engine = make_engine(name)
+    block = engine.star_block(relations)
+    assert isinstance(block, PairBlock)
+    assert block.arity == 3
+    assert len(to_set_calls) == 0
+    assert block.to_set() == combinatorial_star(relations)
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_star_set_materialises_exactly_once(name, to_set_calls):
+    left, right = _inputs()
+    relations = [left, right]
+    engine = make_engine(name)
+    expected = combinatorial_star(relations)
+    del to_set_calls[:]
+    assert engine.star(relations) == expected
+    assert len(to_set_calls) == 1, name

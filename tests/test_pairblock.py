@@ -1,6 +1,7 @@
 """Property tests: columnar blocks match Python-set semantics exactly.
 
-Hypothesis generates random relations (including empty and single-row edge
+Hypothesis generates random relations (from the shared strategies in
+``tests/strategies.py``, including empty, single-row and heavy-hitter edge
 cases); every ``PairBlock`` / ``CountedPairBlock`` operation must agree with
 the equivalent operation on plain sets/dicts of tuples, and the heavy-residual
 extraction must agree across every registered matmul backend.
@@ -11,7 +12,7 @@ from collections import Counter
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
+from strategies import HUGE_VALUES, pair_lists, triple_lists
 
 from repro.core.config import MMJoinConfig
 from repro.core.partitioning import partition_two_path
@@ -30,19 +31,6 @@ from repro.joins.baseline import (
 )
 from repro.joins.hash_join import hash_join_project, hash_join_project_counts
 from repro.matmul.registry import make_default_registry
-
-# Values deliberately include 0 and a huge outlier so both the packed-key
-# fast path and the unique(axis=0) fallback are exercised.
-SMALL_VALUES = st.integers(min_value=0, max_value=40)
-HUGE_VALUES = st.integers(min_value=0, max_value=2**40)
-
-
-def pair_lists(values=SMALL_VALUES, max_size=120):
-    return st.lists(st.tuples(values, values), min_size=0, max_size=max_size)
-
-
-def triple_lists(values=SMALL_VALUES, max_size=80):
-    return st.lists(st.tuples(values, values, values), min_size=0, max_size=max_size)
 
 
 class TestPairBlockSetSemantics:

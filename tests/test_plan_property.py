@@ -1,31 +1,22 @@
 """Property test: the planner pipeline equals the combinatorial baselines.
 
-For seeded-random relations, the two-path (set and counting semantics) and
-star outputs of the planner pipeline must match the combinatorial reference
-implementations exactly, for every backend in the registry and for the
-optimizer-driven auto path.
+For seeded-random relations (shared generators in ``tests/strategies.py``),
+the two-path (set and counting semantics) and star outputs of the planner
+pipeline must match the combinatorial reference implementations exactly, for
+every backend in the registry and for the optimizer-driven auto path.
 """
 
-import numpy as np
 import pytest
+from strategies import random_relation
 
 from repro.core.config import MMJoinConfig
 from repro.core.star import star_join
 from repro.core.two_path import two_path_join, two_path_join_counts
-from repro.data.relation import Relation
 from repro.joins.baseline import combinatorial_star, combinatorial_two_path
 from repro.matmul.registry import make_default_registry
 
 ALL_BACKENDS = make_default_registry().names()
 SEEDS = [0, 1, 2, 3, 4]
-
-
-def random_relation(seed: int, n_pairs: int = 140, x_domain: int = 18, y_domain: int = 12,
-                    name: str = "R") -> Relation:
-    rng = np.random.default_rng(seed)
-    xs = rng.integers(0, x_domain, size=n_pairs)
-    ys = rng.integers(0, y_domain, size=n_pairs)
-    return Relation.from_pairs(list(zip(xs.tolist(), ys.tolist())), name=name)
 
 
 @pytest.mark.parametrize("backend", ALL_BACKENDS)
