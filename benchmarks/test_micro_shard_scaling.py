@@ -1,0 +1,55 @@
+"""Bench-runner wiring for the shard-scaling microbenchmark.
+
+Runs :mod:`micro_shard_scaling` under the pytest-benchmark harness, records
+the paper-style table to ``benchmarks/results/micro_shard_scaling.txt`` and
+asserts the acceptance bar: after ``update_shard`` on one shard, re-serving
+the previously-warm query is at least 3x faster than a cold unsharded
+session on the 10^5-tuple skewed workload, and the per-shard cache counters
+prove every sibling shard stayed warm.
+"""
+
+import micro_shard_scaling
+
+
+def test_micro_shard_scaling_table(benchmark, record_rows):
+    rows = benchmark.pedantic(micro_shard_scaling.run_rows, rounds=1, iterations=1)
+    text = record_rows(
+        "micro_shard_scaling", rows,
+        title="Microbenchmark: shard-count sweep, update-path re-serving",
+    )
+    print("\n" + text)
+    by_shards = {row["shards"]: row for row in rows}
+    assert set(by_shards) == set(micro_shard_scaling.SHARD_COUNTS)
+    acceptance = by_shards[micro_shard_scaling.ACCEPTANCE_SHARDS]
+    assert acceptance["tuples"] >= 200_000, acceptance
+    # The update path: one shard recomputes, siblings re-serve from cache.
+    assert acceptance["requery_speedup_vs_cold"] >= 3.0, acceptance
+    assert acceptance["siblings_warm"], acceptance
+    # Sharding must not change the answer anywhere in the sweep.
+    assert len({row["output_pairs"] for row in rows}) == 1
+
+
+def test_micro_shard_scaling_update_correctness():
+    """After update_shard the served pairs match a fresh recomputation."""
+    import numpy as np
+
+    from repro.core.config import MMJoinConfig
+    from repro.data.relation import Relation
+    from repro.joins.baseline import combinatorial_two_path
+    from repro.serve import QuerySession
+
+    left_raw, right_raw = micro_shard_scaling.raw_arrays()
+    left_raw, right_raw = left_raw[:4000], right_raw[:4000]
+    config = MMJoinConfig(delta1=1, delta2=1, matrix_backend="dense")
+    with QuerySession(config=config, shards=4,
+                      heavy_key_factor=micro_shard_scaling.HEAVY_KEY_FACTOR) as session:
+        session.register(Relation(np.array(left_raw), name="R"), name="R", sharded=True)
+        session.register(Relation(np.array(right_raw), name="S"), name="S", sharded=True)
+        session.two_path("R", "S", use_memo=False)
+        target = int(np.argmax(session.sharded("R").sizes()[:4]))
+        kept = np.array(session.sharded("R").shard(target).data[::2])
+        session.update_shard("R", target, kept)
+        served = session.two_path("R", "S", use_memo=False)
+        assert served.pairs == combinatorial_two_path(
+            session.relation("R"), session.relation("S")
+        )

@@ -1,10 +1,14 @@
 """Command-line interface for the reproduction.
 
-Seven subcommands cover the common workflows without writing any Python:
+Eight subcommands cover the common workflows without writing any Python:
 
 * ``repro-cli join <edge-list>`` — evaluate the 2-path join-project over an
-  edge-list file (with ``--engine`` choosing any registered query engine)
-  and report the output size, strategy and timings;
+  edge-list file (with ``--engine`` choosing any registered query engine,
+  and ``--shards K`` serving through a sharded session) and report the
+  output size, strategy and timings;
+* ``repro-cli shard <edge-list> --shards K`` — inspect the skew-aware
+  sharding: shard sizes, heavy-key shards, the per-shard plan breakdown and
+  per-shard cache hit rates over repeated serving;
 * ``repro-cli explain <edge-list>`` — run the planner pipeline and print the
   chosen plan: strategy, thresholds, matmul backend and per-operator
   estimated vs. actual cost;
@@ -53,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_join_options(join)
     join.add_argument("--engine", choices=available_engines(), default="mmjoin",
                       help="query engine to evaluate with (default: mmjoin)")
+    join.add_argument("--shards", type=int, default=1,
+                      help="serve through a sharded session with this many hash "
+                           "shards (mmjoin engine only; default: unsharded)")
+
+    shard = sub.add_parser(
+        "shard",
+        help="inspect skew-aware sharding: shard sizes, heavy keys, cache hit rates",
+    )
+    _add_join_options(shard)
+    shard.add_argument("--shards", type=int, default=4,
+                       help="number of hash shards (heavy-key shards come on top)")
+    shard.add_argument("--repeat", type=int, default=2,
+                       help="number of warm re-evaluations after the cold run")
 
     explain = sub.add_parser(
         "explain",
@@ -117,6 +134,25 @@ def _config_from_args(args: argparse.Namespace) -> MMJoinConfig:
 
 def _run_join(args: argparse.Namespace) -> int:
     relation = load_edge_list(args.path)
+    if args.engine == "mmjoin" and args.shards > 1:
+        from repro.serve import QuerySession
+
+        with QuerySession(config=_config_from_args(args), shards=args.shards) as session:
+            session.register(relation, name="R", sharded=True)
+            served = session.two_path("R", "R", use_memo=False)
+            stats = served.explanation.session_stats if served.explanation else {}
+            rows = [{
+                "tuples": len(relation),
+                "output_pairs": served.output_size,
+                "strategy": served.strategy,
+                "backend": served.backend,
+                "shards": session.sharding_spec.num_shards,
+                "shards_executed": stats.get("shards_executed", 0),
+                "shards_skipped": stats.get("shards_skipped_empty", 0),
+                "seconds": round(served.seconds, 6),
+            }]
+        print(format_table(rows, title=f"sharded 2-path join-project over {args.path}"))
+        return 0
     if args.engine == "mmjoin":
         result = two_path_join(relation, relation, config=_config_from_args(args))
         rows = [{
@@ -186,6 +222,43 @@ def _run_session(args: argparse.Namespace) -> int:
         feedback_rows = session.feedback.summary()
         if feedback_rows:
             print(format_table(feedback_rows, title="estimated vs actual operator cost"))
+    return 0
+
+
+def _run_shard(args: argparse.Namespace) -> int:
+    from repro.serve import QuerySession
+
+    relation = load_edge_list(args.path)
+    config = _config_from_args(args)
+    with QuerySession(config=config, shards=max(int(args.shards), 1)) as session:
+        session.register(relation, name="R", sharded=True)
+        spec = session.sharding_spec
+        container = session.sharded("R")
+        sizes = container.sizes()
+        layout_rows = []
+        for row in spec.describe():
+            layout_rows.append({**row, "tuples": sizes[row["shard"]]})
+        print(format_table(
+            layout_rows,
+            title=f"shard layout for {args.path} "
+                  f"({spec.hash_shards} hash + {spec.num_heavy} heavy shards)",
+        ))
+        result = session.two_path("R", "R", use_memo=False)
+        for _ in range(max(int(args.repeat), 1)):
+            result = session.two_path("R", "R", use_memo=False)
+        if result.explanation is not None:
+            print()
+            print(result.explain())
+        stats = session.shard_stats()
+        rate_rows = [
+            {"shard": shard, **counters}
+            for shard, counters in stats["per_shard"].items()
+        ]
+        if rate_rows:
+            print()
+            print(format_table(rate_rows, title="per-shard operator cache hit rates"))
+        print(f"router: {stats['router']['routed']} routed / "
+              f"{stats['router']['fallbacks']} fallbacks")
     return 0
 
 
@@ -297,6 +370,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "join": _run_join,
         "explain": _run_explain,
         "session": _run_session,
+        "shard": _run_shard,
         "serve": _run_serve,
         "ssj": _run_ssj,
         "scj": _run_scj,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.data.relation import Relation
 
@@ -68,6 +68,40 @@ def estimate_output_size(
         estimate=max(estimate, 1.0),
         full_join_size=out_join,
     )
+
+
+def detect_heavy_join_keys(
+    relation: Relation,
+    shards: int,
+    balance_factor: float = 0.5,
+    max_heavy: Optional[int] = None,
+) -> Dict[int, int]:
+    """Join keys whose degree would serialize a single hash shard.
+
+    The sharded execution layer hash-partitions relations on the join
+    attribute ``y``; a key whose tuple count approaches a fair shard's share
+    (``N / shards``) turns whichever hash shard owns it into the straggler
+    that the paper's Section 6 partitioning argument was supposed to avoid.
+    The per-key degree statistics (``degrees_y``, the same map the
+    :class:`~repro.data.indexes.DegreeIndex` machinery is built from) find
+    those keys: a key is heavy when its degree exceeds
+    ``balance_factor * N / shards``.
+
+    Returns ``{key: degree}`` for at most ``max_heavy`` keys (default:
+    ``shards``), keeping the highest-degree ones.  Empty when ``shards <= 1``
+    (nothing to balance) or the relation is empty.
+    """
+    if shards <= 1 or len(relation) == 0:
+        return {}
+    degrees = relation.degrees_y()
+    fair_share = len(relation) / float(shards)  # sum of y degrees == N
+    threshold = max(balance_factor * fair_share, 1.0)
+    heavy = {int(y): int(d) for y, d in degrees.items() if d > threshold}
+    cap = int(shards) if max_heavy is None else max(int(max_heavy), 0)
+    if len(heavy) > cap:
+        kept = sorted(heavy.items(), key=lambda kv: (-kv[1], kv[0]))[:cap]
+        heavy = dict(kept)
+    return heavy
 
 
 def estimate_star_output_size(relations: Sequence[Relation]) -> OutputEstimate:

@@ -59,6 +59,10 @@ class ExecutionState:
     # present, and fall back to stateless evaluation when ``None``.
     session: Optional[Any] = None
 
+    # Shard id when this state belongs to one shard's subplan of a sharded
+    # execution (labels the subplan's explanation); None when unsharded.
+    shard: Optional[int] = None
+
     # Populated by LightHeavyPartition.
     decision: Optional[OptimizerDecision] = None
     strategy: str = "mmjoin"

@@ -175,9 +175,18 @@ def parallel_two_path(
     start = time.perf_counter()
     run_config = config.with_thresholds(delta1, delta2).with_cores(cores)
     if session is not None:
-        plan = session.evaluate(
+        served = session.evaluate(
             TwoPathQuery(left=left, right=right), use_memo=False, config=run_config
-        ).plan
+        )
+        if served.plan is None:
+            # The session routed the query shard-wise (no single plan); the
+            # phase timings live in the rolled-up explanation instead.
+            return ParallelJoinResult(
+                pairs=served.pairs,
+                seconds=time.perf_counter() - start,
+                cores=max(int(cores), 1),
+            )
+        plan = served.plan
     else:
         planner = Planner(config=run_config)
         plan = planner.execute(TwoPathQuery(left=left, right=right))

@@ -67,6 +67,11 @@ class PlanExplanation:
     # the session artifact-cache counters at explain() time (empty when the
     # plan ran outside a session).
     session_stats: Dict[str, Any] = field(default_factory=dict)
+    # Sharded execution: the shard id of a per-shard subplan (None for
+    # unsharded plans), and the per-shard breakdown rows of a rolled-up
+    # sharded explanation (empty otherwise).
+    shard: Optional[int] = None
+    shard_reports: List[Dict[str, Any]] = field(default_factory=list)
 
     def operator_names(self) -> List[str]:
         """Names of the operators that actually ran."""
@@ -88,12 +93,20 @@ class PlanExplanation:
             details[f"op.{op.operator}.seconds"] = op.actual_seconds
         for key, value in self.session_stats.items():
             details[f"session.{key}"] = value
+        if self.shard is not None:
+            details["shard"] = self.shard
+        if self.shard_reports:
+            details["shards"] = [dict(row) for row in self.shard_reports]
         return details
 
     def format(self) -> str:
         """Human-readable multi-line explanation (the CLI output)."""
         lines = [
             f"query:    {self.query_kind}",
+        ]
+        if self.shard is not None:
+            lines.append(f"shard:    {self.shard}")
+        lines += [
             f"strategy: {self.strategy}",
             f"backend:  {self.backend}",
             f"delta1:   {self.delta1}",
@@ -112,6 +125,19 @@ class PlanExplanation:
             )
             for key, value in op.detail.items():
                 lines.append(f"    {key} = {value}")
+        if self.shard_reports:
+            lines.append("")
+            lines.append(
+                f"{'shard':<6} {'kind':<6} {'tuples':>8} {'strategy':<8} "
+                f"{'backend':<9} {'output':>8} {'seconds':>11} {'cache h/m':>10}"
+            )
+            for row in self.shard_reports:
+                cache = f"{row.get('cache_hits', 0)}/{row.get('cache_misses', 0)}"
+                lines.append(
+                    f"{row['shard']:<6} {row['kind']:<6} {row['input_tuples']:>8} "
+                    f"{row['strategy']:<8} {row['backend']:<9} "
+                    f"{row['output_size']:>8} {row['seconds']:>11.6g} {cache:>10}"
+                )
         if self.session_stats:
             lines.append("")
             lines.append("session:")

@@ -53,12 +53,16 @@ class PhysicalPlan:
         operators: List[PhysicalOperator],
         mode: str,
         session: Optional[Any] = None,
+        shard: Optional[int] = None,
     ) -> None:
         self.query = query
         self.config = config
         self.operators = operators
         self.mode = mode
         self.session = session
+        # Shard id when this plan is one shard's subplan of a sharded
+        # execution (see repro.shard.executor); labels the explanation.
+        self.shard = shard
         self.state: Optional[ExecutionState] = None
 
     @property
@@ -73,6 +77,7 @@ class PhysicalPlan:
             mode=self.mode,
             relations=list(self.query.join_relations()),
             session=self.session,
+            shard=self.shard,
         )
         for operator in self.operators:
             operator(state)
@@ -152,6 +157,7 @@ class PhysicalPlan:
             estimated_output=decision.estimated_output if decision is not None else 0.0,
             output_size=state.output_size if state is not None else 0,
             session_stats=session_stats,
+            shard=self.shard,
         )
 
 
@@ -172,10 +178,15 @@ class Planner:
         # plan so the operators can consult the session's artifact caches.
         self.session = session
 
-    def create_plan(self, query: JoinProjectQuery) -> PhysicalPlan:
-        """Lower ``query`` onto the five-operator physical pipeline."""
+    def create_plan(self, query: JoinProjectQuery,
+                    shard: Optional[int] = None) -> PhysicalPlan:
+        """Lower ``query`` onto the five-operator physical pipeline.
+
+        ``shard`` labels the plan as one shard's subplan of a sharded
+        execution (see :mod:`repro.shard.executor`).
+        """
         if isinstance(query, (SimilarityJoinQuery, ContainmentJoinQuery)):
-            lowered = self.create_plan(query.lower())
+            lowered = self.create_plan(query.lower(), shard=shard)
             lowered.query = query  # report the original kind in explain()
             return lowered
         if isinstance(query, StarQuery):
@@ -192,11 +203,12 @@ class Planner:
             DedupMerge(),
         ]
         return PhysicalPlan(query=query, config=self.config, operators=operators,
-                            mode=mode, session=self.session)
+                            mode=mode, session=self.session, shard=shard)
 
-    def execute(self, query: JoinProjectQuery) -> PhysicalPlan:
+    def execute(self, query: JoinProjectQuery,
+                shard: Optional[int] = None) -> PhysicalPlan:
         """Convenience: plan and execute in one call, returning the plan."""
-        plan = self.create_plan(query)
+        plan = self.create_plan(query, shard=shard)
         plan.execute()
         return plan
 

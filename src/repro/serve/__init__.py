@@ -9,6 +9,10 @@ Public surface:
   underlying both the derived-artifact cache and the plan/result memo.
 * :class:`~repro.serve.feedback.CostFeedback` — estimated-vs-actual operator
   costs, calibrating the session's matmul cost model.
+
+The sharded execution layer (``QuerySession(shards=K)``,
+``register(..., sharded=True)``, ``update_shard``) lives in
+:mod:`repro.shard` and is surfaced entirely through the session.
 """
 
 from repro.serve.artifacts import ArtifactCache

@@ -29,13 +29,51 @@ from typing import Any, Callable, Dict, Optional, Tuple
 def token_mentions(token: Any, name: str) -> bool:
     """Whether a (possibly nested) cache-key token references relation ``name``.
 
-    Leaf tokens look like ``("rel", name, version)``; derived tokens nest
-    their parents, e.g. ``("drv", "semijoin", (parent, parent), mode)``.
+    Leaf tokens look like ``("rel", name, version)`` for whole relations and
+    ``("shard", name, shard, shard_version)`` for one shard of a sharded
+    registration; derived tokens nest their parents, e.g.
+    ``("drv", "semijoin", (parent, parent), mode)``.
     """
     if isinstance(token, tuple):
         if len(token) == 3 and token[0] == "rel":
             return token[1] == name
+        if len(token) == 4 and token[0] == "shard":
+            return token[1] == name
         return any(token_mentions(part, name) for part in token)
+    return False
+
+
+def token_mentions_shard_update(token: Any, name: str, shard: int) -> bool:
+    """Whether a token is stale after ``update_shard(name, shard)``.
+
+    Matches artifacts derived from the mutated shard (``("shard", name,
+    shard, v)`` leaves) *and* anything keyed on the whole relation
+    (``("rel", name, v)`` leaves — the plan memo and unsharded artifacts,
+    whose results change whenever any shard does).  Sibling-shard leaves do
+    **not** match: their derived state stays warm.
+    """
+    if isinstance(token, tuple):
+        if len(token) == 3 and token[0] == "rel":
+            return token[1] == name
+        if len(token) == 4 and token[0] == "shard":
+            return token[1] == name and token[2] == shard
+        return any(token_mentions_shard_update(part, name, shard) for part in token)
+    return False
+
+
+def token_mentions_any_shard(token: Any, name: str) -> bool:
+    """Whether a token references *any* shard leaf of relation ``name``.
+
+    Used when a relation is re-partitioned under a new spec: every shard
+    artifact is stale, but entries keyed only on the whole relation (whose
+    data did not change) survive.
+    """
+    if isinstance(token, tuple):
+        if len(token) == 4 and token[0] == "shard":
+            return token[1] == name
+        if len(token) == 3 and token[0] == "rel":
+            return False
+        return any(token_mentions_any_shard(part, name) for part in token)
     return False
 
 
@@ -119,6 +157,21 @@ class ArtifactCache:
     def invalidate_relation(self, name: str) -> int:
         """Drop every artifact derived from relation ``name`` (any version)."""
         return self.invalidate_where(lambda key: token_mentions(key, name))
+
+    def invalidate_shard(self, name: str, shard: int) -> int:
+        """Drop artifacts stale after a single-shard update of ``name``.
+
+        Everything derived from the mutated shard or from the whole relation
+        goes; sibling shards' artifacts stay warm — this is the shard-scoped
+        invalidation that makes ``update_shard`` cheap.
+        """
+        return self.invalidate_where(
+            lambda key: token_mentions_shard_update(key, name, shard)
+        )
+
+    def invalidate_shards(self, name: str) -> int:
+        """Drop every shard-derived artifact of ``name`` (re-partitioning)."""
+        return self.invalidate_where(lambda key: token_mentions_any_shard(key, name))
 
     def clear(self) -> None:
         with self._lock:

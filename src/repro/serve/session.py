@@ -24,7 +24,14 @@ state across calls:
 * a **cost feedback loop** (:class:`~repro.serve.feedback.CostFeedback`)
   folding each plan's estimated-vs-actual operator costs back into the
   session's shared :class:`~repro.matmul.cost_model.MatMulCostModel`, which
-  both the optimizer and the backend registry consult.
+  both the optimizer and the backend registry consult;
+* a **sharded execution layer** (``QuerySession(shards=K)`` +
+  ``register(..., sharded=True)``): relations are hash-partitioned on the
+  join attribute under one frozen skew-aware
+  :class:`~repro.shard.spec.ShardingSpec`, queries route through per-shard
+  subplans (merged by one concat + packed-key dedup), artifacts are keyed by
+  per-shard tokens, and :meth:`QuerySession.update_shard` mutates one shard
+  while sibling shards' cached artifacts stay warm.
 
 The legacy one-shot functions are thin wrappers over a throwaway session,
 so there is exactly one evaluation path in the repository.
@@ -39,9 +46,12 @@ import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
+from repro.core.estimation import detect_heavy_join_keys
 from repro.core.optimizer import CostBasedOptimizer
 from repro.data.catalog import Catalog
 from repro.data.pairblock import CountedPairBlock, PairBlock
@@ -59,8 +69,17 @@ from repro.plan.query import (
     StarQuery,
     TwoPathQuery,
 )
-from repro.serve.artifacts import ArtifactCache, token_mentions
+from repro.serve.artifacts import (
+    ArtifactCache,
+    token_mentions,
+    token_mentions_any_shard,
+    token_mentions_shard_update,
+)
 from repro.serve.feedback import CostFeedback
+from repro.shard.executor import execute_sharded
+from repro.shard.router import ShardRouter
+from repro.shard.sharded import ShardedRelation
+from repro.shard.spec import ShardingSpec
 
 HeadTuple = Tuple[int, ...]
 
@@ -129,9 +148,13 @@ class SessionContext:
 
     def unbind_relation(self, name: str) -> None:
         """Forget tokens (base and derived) referencing relation ``name``."""
+        self.unbind_where(lambda token: token_mentions(token, name))
+
+    def unbind_where(self, predicate: Callable[[Any], bool]) -> None:
+        """Forget every binding whose token satisfies ``predicate``."""
         with self._lock:
             doomed = [obj_id for obj_id, (token, _) in self._tokens.items()
-                      if token_mentions(token, name)]
+                      if predicate(token)]
             for obj_id in doomed:
                 del self._tokens[obj_id]
 
@@ -240,6 +263,22 @@ class QuerySession:
     feedback:
         When True (default), every executed plan's estimated-vs-actual costs
         are recorded and measured heavy products calibrate the cost model.
+    shards:
+        Number of hash shards for relations registered with
+        ``sharded=True``.  With ``shards > 1`` the session freezes one
+        skew-aware :class:`~repro.shard.spec.ShardingSpec` (heavy-hitter
+        join keys get dedicated shards on top of the hash shards), routes
+        queries over sharded relations through per-shard subplans, and
+        supports :meth:`update_shard` — single-shard mutation that leaves
+        sibling shards' cached artifacts warm.  ``shards=1`` (default)
+        disables routing; ``sharded=True`` registrations then behave like
+        ordinary ones.
+    heavy_key_factor:
+        A join key is isolated into a dedicated heavy shard when its degree
+        exceeds ``heavy_key_factor * N / shards`` (see
+        :func:`~repro.core.estimation.detect_heavy_join_keys`).  Lower it
+        for workloads whose head-domain bound caps per-key degrees well
+        below a fair shard's share.
     """
 
     def __init__(
@@ -250,6 +289,8 @@ class QuerySession:
         artifact_bytes: Optional[int] = 256 << 20,
         memo_bytes: Optional[int] = 64 << 20,
         feedback: bool = True,
+        shards: int = 1,
+        heavy_key_factor: float = 0.5,
     ) -> None:
         self.config = config
         if registry is not None:
@@ -276,16 +317,33 @@ class QuerySession:
         self._async_pool: Optional[ThreadPoolExecutor] = None
         self._lock = threading.RLock()
         self.queries_served = 0
+        # Sharded execution state (active when shards > 1 and at least one
+        # relation registered with sharded=True).
+        self.shards = max(int(shards), 1)
+        self.heavy_key_factor = float(heavy_key_factor)
+        self._sharded_names: Set[str] = set()
+        self._sharded: Dict[str, ShardedRelation] = {}
+        self._shard_versions: Dict[Tuple[str, int], int] = {}
+        self._sharding_spec: Optional[ShardingSpec] = None
+        self._router = ShardRouter(self._resolve_sharded)
+        self._shard_counters: Dict[int, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------ #
     # Catalog management
     # ------------------------------------------------------------------ #
-    def register(self, relation: Relation, name: Optional[str] = None) -> str:
+    def register(self, relation: Relation, name: Optional[str] = None,
+                 sharded: bool = False) -> str:
         """Register (or re-register) a relation; returns its catalog name.
 
         Re-registering an existing name is the mutation path: the version is
         bumped and every cached artifact or memoized result derived from the
-        old data is invalidated.
+        old data is invalidated — for a sharded name that includes **all**
+        shard tokens (use :meth:`update_shard` for shard-scoped mutation).
+
+        ``sharded=True`` (with a ``shards > 1`` session) partitions the
+        relation on the join attribute under the session's skew-aware spec;
+        queries touching only sharded relations then run as per-shard
+        subplans.
         """
         key = name or relation.name
         with self._lock:
@@ -295,22 +353,36 @@ class QuerySession:
                 self._invalidate(key)
             self.catalog.add(relation, name=key)
             self.context.bind(relation, ("rel", key, version))
+            if sharded:
+                # A shards=1 session still builds the (single-shard)
+                # container so update_shard works uniformly; the router
+                # falls back to unsharded evaluation for such specs.
+                self._sharded_names.add(key)
+                self._rebuild_sharding(new_name=key)
+            else:
+                self._drop_sharding(key)
         return key
 
-    def register_family(self, family: SetFamily, name: Optional[str] = None) -> str:
+    def register_family(self, family: SetFamily, name: Optional[str] = None,
+                        sharded: bool = False) -> str:
         """Register a set family (its backing relation joins the catalog)."""
-        key = self.register(family.relation, name=name)
+        key = self.register(family.relation, name=name, sharded=sharded)
         with self._lock:
             self._families[key] = family
         return key
 
     def update(self, name: str, relation: Relation) -> str:
-        """Replace the data under an existing name (bumps the version)."""
+        """Replace the data under an existing name (bumps the version).
+
+        A sharded name stays sharded: the new data is re-partitioned and
+        every shard token is invalidated along with the base artifacts.
+        """
         if name not in self.catalog:
             raise KeyError(f"cannot update unregistered relation {name!r}")
         with self._lock:
             self._families.pop(name, None)
-        return self.register(relation, name=name)
+            return self.register(relation, name=name,
+                                 sharded=name in self._sharded_names)
 
     def remove(self, name: str) -> None:
         """Drop a relation and everything derived from it."""
@@ -318,12 +390,153 @@ class QuerySession:
             self.catalog.remove(name)
             self._families.pop(name, None)
             self._versions.pop(name, None)
+            self._drop_sharding(name)
             self._invalidate(name)
 
     def _invalidate(self, name: str) -> None:
         self.artifacts.invalidate_relation(name)
         self.memo.invalidate_relation(name)
         self.context.unbind_relation(name)
+
+    # ------------------------------------------------------------------ #
+    # Sharding management
+    # ------------------------------------------------------------------ #
+    @property
+    def sharding_spec(self) -> Optional[ShardingSpec]:
+        """The session's frozen key -> shard assignment (None until built)."""
+        return self._sharding_spec
+
+    def sharded(self, name: str) -> ShardedRelation:
+        """The sharded container of a sharded-registered relation."""
+        with self._lock:
+            container = self._sharded.get(name)
+            if container is None:
+                raise KeyError(f"relation {name!r} is not registered sharded")
+            return container
+
+    def _drop_sharding(self, name: str) -> None:
+        with self._lock:
+            self._sharded_names.discard(name)
+            if self._sharded.pop(name, None) is not None:
+                doomed = [k for k in self._shard_versions if k[0] == name]
+                for k in doomed:
+                    del self._shard_versions[k]
+
+    def _rebuild_sharding(self, new_name: Optional[str] = None) -> None:
+        """(Re)compute the spec and partition whatever it newly covers.
+
+        The spec's heavy keys are the union of every sharded relation's
+        heavy hitters (capped at ``shards`` extra shards, keeping the
+        highest-degree keys).  If the spec changes — a registration brought
+        new heavy keys — every sharded relation is re-partitioned so all of
+        them keep agreeing on key placement; otherwise only the new name is
+        partitioned.
+        """
+        with self._lock:
+            heavy: Dict[int, int] = {}
+            for name in sorted(self._sharded_names):
+                for key, degree in detect_heavy_join_keys(
+                    self.catalog.get(name), self.shards,
+                    balance_factor=self.heavy_key_factor,
+                ).items():
+                    if degree > heavy.get(key, -1):
+                        heavy[key] = degree
+            if len(heavy) > self.shards:
+                heavy = dict(sorted(
+                    heavy.items(), key=lambda kv: (-kv[1], kv[0])
+                )[: self.shards])
+            spec = ShardingSpec(self.shards, sorted(heavy))
+            if self._sharding_spec is not None and spec == self._sharding_spec:
+                targets = [new_name] if new_name else []
+            else:
+                self._sharding_spec = spec
+                targets = sorted(self._sharded_names)
+            for name in targets:
+                if name in self._sharded and name != new_name:
+                    # Re-partitioning does not change the data, so memo
+                    # entries (keyed on base tokens) stay valid; only the
+                    # now-unreachable shard artifacts are dropped — and the
+                    # old shard Relation objects unbound, so the context
+                    # does not pin one generation of data copies per respec.
+                    self.artifacts.invalidate_shards(name)
+                    self.memo.invalidate_shards(name)
+                    self.context.unbind_where(
+                        lambda token: token_mentions_any_shard(token, name)
+                    )
+                self._partition_name(name)
+
+    def _partition_name(self, name: str) -> None:
+        """Partition one relation under the frozen spec and bind shard tokens."""
+        assert self._sharding_spec is not None
+        container = ShardedRelation.partition(
+            self.catalog.get(name), self._sharding_spec, name=name
+        )
+        self._sharded[name] = container
+        for shard, shard_rel in enumerate(container.shards):
+            version = self._shard_versions.get((name, shard), -1) + 1
+            self._shard_versions[(name, shard)] = version
+            self.context.bind(shard_rel, ("shard", name, shard, version))
+
+    def update_shard(self, name: str, shard: int, rows: Any) -> str:
+        """Replace one shard's tuples; sibling shards' artifacts stay warm.
+
+        ``rows`` is a :class:`Relation` or an iterable of ``(x, y)`` pairs
+        whose join keys must all map to ``shard`` under the session's spec
+        (a shard-local update never moves tuples between shards).  The
+        relation's version is bumped — memoized results and whole-relation
+        artifacts are stale — but only the mutated shard's token changes, so
+        every sibling shard re-serves its cached semijoin/partition/operand
+        artifacts on the next query.  This is the incremental-update path:
+        re-serving a previously-warm query costs one shard's pipeline plus
+        the cross-shard merge.
+        """
+        with self._lock:
+            container = self.sharded(name)  # raises KeyError when unsharded
+            shard = int(shard)
+            if isinstance(rows, Relation):
+                relation = rows
+            else:
+                # Keep array inputs columnar (no per-row Python objects);
+                # the constructor sorts/dedups either way.
+                if not isinstance(rows, np.ndarray):
+                    rows = np.asarray(list(rows), dtype=np.int64)
+                relation = Relation(rows.reshape(-1, 2), name=name)
+            stored = container.replace_shard(shard, relation)  # validates keys
+            # Shard-scoped invalidation: the mutated shard's artifacts and
+            # anything keyed on the whole relation (memo, unsharded
+            # artifacts); sibling-shard entries survive.
+            self.artifacts.invalidate_shard(name, shard)
+            self.memo.invalidate_shard(name, shard)
+            self.context.unbind_where(
+                lambda token: token_mentions_shard_update(token, name, shard)
+            )
+            version = self._versions[name] + 1
+            self._versions[name] = version
+            shard_version = self._shard_versions.get((name, shard), -1) + 1
+            self._shard_versions[(name, shard)] = shard_version
+            base = container.combined()
+            self.catalog.add(base, name=name)
+            self.context.bind(base, ("rel", name, version))
+            self.context.bind(stored, ("shard", name, shard, shard_version))
+            self._families.pop(name, None)
+        return name
+
+    def _resolve_sharded(self, relation: Any) -> Optional[Tuple[str, ShardedRelation]]:
+        """Router callback: the sharded container behind a relation object.
+
+        Only the *current* base object of a sharded registration resolves —
+        stale objects (pre-mutation) and ad-hoc relations fall back to
+        unsharded evaluation.
+        """
+        token = self.context.token_for(relation)
+        if not (isinstance(token, tuple) and len(token) == 3 and token[0] == "rel"):
+            return None
+        name = token[1]
+        with self._lock:
+            container = self._sharded.get(name)
+            if container is None or self._versions.get(name) != token[2]:
+                return None
+            return name, container
 
     def relation(self, name: str) -> Relation:
         return self.catalog.get(name)
@@ -435,6 +648,45 @@ class QuerySession:
                     seconds=time.perf_counter() - start,
                     from_memo=True,
                 )
+        routed = None
+        if self._sharded and self.shards > 1:
+            routed = self._router.route(query)
+        if routed is not None:
+            sharded = execute_sharded(
+                routed,
+                planner_for=self.planner_for,
+                config=run_config,
+                executor=(
+                    self.context.executor(run_config.cores)
+                    if run_config.cores > 1 else None
+                ),
+            )
+            explanation = sharded.explanation
+            # The router lowers similarity/containment to the counting
+            # two-path; report the original kind, as the unsharded path does.
+            explanation.query_kind = query.kind
+            explanation.session_stats.update(
+                {f"artifacts.{k}": v for k, v in self.artifacts.stats().items()}
+            )
+            if self._feedback_enabled:
+                # Per-shard explanations carry the real matrix products; the
+                # rollup only aggregates, so feed the sub-plans to the model.
+                for sub_explanation in sharded.shard_explanations:
+                    self.feedback.record(sub_explanation, cores=1)
+            self._record_shard_counters(explanation)
+            with self._lock:
+                self.queries_served += 1
+            if key is not None:
+                value = (sharded.result_block, sharded.result_counted, explanation)
+                self.memo.put(key, value, _blocks_nbytes(value))
+            return SessionResult(
+                query_kind=query.kind,
+                result_block=sharded.result_block,
+                result_counted=sharded.result_counted,
+                explanation=explanation,
+                seconds=time.perf_counter() - start,
+                from_memo=False,
+            )
         plan = self.planner_for(run_config).execute(query)
         state = plan.state
         explanation = plan.explain()
@@ -584,15 +836,70 @@ class QuerySession:
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
     # ------------------------------------------------------------------ #
+    def _record_shard_counters(self, explanation: PlanExplanation) -> None:
+        """Fold one sharded execution's per-shard cache counters in."""
+        with self._lock:
+            for row in explanation.shard_reports:
+                counters = self._shard_counters.setdefault(
+                    int(row["shard"]),
+                    {"queries": 0, "cache_hits": 0, "cache_misses": 0},
+                )
+                counters["queries"] += 1
+                counters["cache_hits"] += int(row.get("cache_hits", 0))
+                counters["cache_misses"] += int(row.get("cache_misses", 0))
+
+    def shard_stats(self) -> Dict[str, Any]:
+        """Sharding layout and cumulative per-shard cache behaviour.
+
+        Feeds the ``repro-cli shard`` report: the frozen spec (hash vs
+        heavy shards and their keys), every sharded relation's shard sizes,
+        and per-shard operator-cache hit rates accumulated over the
+        session's sharded executions.
+        """
+        with self._lock:
+            spec = self._sharding_spec
+            per_shard: Dict[int, Dict[str, Any]] = {}
+            for shard, counters in sorted(self._shard_counters.items()):
+                lookups = counters["cache_hits"] + counters["cache_misses"]
+                per_shard[shard] = {
+                    **counters,
+                    "hit_rate": (
+                        round(counters["cache_hits"] / lookups, 4) if lookups else 0.0
+                    ),
+                }
+            return {
+                "shards": spec.num_shards if spec is not None else 0,
+                "hash_shards": spec.hash_shards if spec is not None else 0,
+                "heavy_keys": (
+                    spec.heavy_keys.tolist() if spec is not None else []
+                ),
+                "relations": {
+                    name: {
+                        "shard_sizes": container.sizes(),
+                        "tuples": len(container),
+                    }
+                    for name, container in sorted(self._sharded.items())
+                },
+                "per_shard": per_shard,
+                "router": {
+                    "routed": self._router.routed,
+                    "fallbacks": self._router.fallbacks,
+                    "last_fallback": self._router.last_fallback,
+                },
+            }
+
     def cache_stats(self) -> Dict[str, Any]:
         """Counters for both caches plus serving totals (CLI report)."""
-        return {
+        stats = {
             "artifacts": self.artifacts.stats(),
             "memo": self.memo.stats(),
             "queries_served": self.queries_served,
             "feedback_observations": self.feedback.observations,
             "cost_model_points": len(self.cost_model.table()),
         }
+        if self._sharded:
+            stats["shards"] = self.shard_stats()
+        return stats
 
     def close(self) -> None:
         """Shut down the session's thread pools (caches just drop with it)."""

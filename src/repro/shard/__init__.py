@@ -1,0 +1,33 @@
+"""Sharded execution layer: skew-aware partitioning and per-shard pipelines.
+
+Public surface:
+
+* :class:`~repro.shard.spec.ShardingSpec` — the frozen ``join key -> shard``
+  assignment (hash shards plus dedicated heavy-hitter shards);
+* :class:`~repro.shard.sharded.ShardedRelation` — a relation partitioned on
+  the join attribute under a spec;
+* :class:`~repro.shard.router.ShardRouter` — decomposes a logical query into
+  per-shard subqueries, or declines (single-shard fallback);
+* :func:`~repro.shard.executor.execute_sharded` — runs the subplans through
+  the shared planner pipeline and merges the per-shard results.
+
+The serving layer (:class:`~repro.serve.session.QuerySession`) wires these
+together: ``QuerySession(shards=K)`` + ``register(..., sharded=True)``
+routes queries shard-wise, keys cached artifacts by shard tokens, and
+``update_shard`` invalidates exactly one shard's derived state.
+"""
+
+from repro.shard.executor import ShardedResult, execute_sharded
+from repro.shard.router import RoutedQuery, ShardRouter, ShardSubquery
+from repro.shard.sharded import ShardedRelation
+from repro.shard.spec import ShardingSpec
+
+__all__ = [
+    "RoutedQuery",
+    "ShardRouter",
+    "ShardSubquery",
+    "ShardedRelation",
+    "ShardedResult",
+    "ShardingSpec",
+    "execute_sharded",
+]

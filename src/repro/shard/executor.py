@@ -1,0 +1,223 @@
+"""Per-shard execution of a routed query, and the cross-shard merge.
+
+Each :class:`~repro.shard.router.ShardSubquery` runs through the ordinary
+:class:`~repro.plan.planner.Planner` pipeline — semijoin-reduce,
+light/heavy partition, combinatorial light, matmul heavy, dedup-merge —
+over that shard's relation slices, with the session context attached so
+every operator keys its artifacts by the slices' *shard tokens*.  Shard
+subplans always run with ``cores=1`` internally: the shard fan-out itself
+is the unit of parallelism (it borrows the session's persistent
+:class:`~repro.parallel.executor.ParallelExecutor` pool), and single-core
+inner plans never touch that pool, so the fan-out cannot deadlock the way
+nested ``map`` calls would.
+
+The cross-shard merge is the same columnar machinery the operators use:
+one concatenation of the per-shard :class:`~repro.data.pairblock.PairBlock`
+results plus a single packed-key ``np.unique`` (with summed witness counts
+under counting mode — witness populations are disjoint across shards, so
+the sums are exact).
+
+Per-shard costs, strategies and backends roll up into one
+:class:`~repro.plan.explain.PlanExplanation` whose ``shard_reports`` carry
+the per-shard breakdown that ``explain()`` renders as a table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import MMJoinConfig
+from repro.data.pairblock import CountedPairBlock, PairBlock
+from repro.plan.explain import OperatorReport, PlanExplanation
+from repro.plan.planner import Planner, PhysicalPlan
+from repro.shard.router import RoutedQuery, ShardSubquery
+
+PlannerFactory = Callable[[MMJoinConfig], Planner]
+
+
+@dataclass
+class ShardedResult:
+    """Merged output of one sharded execution."""
+
+    result_block: Optional[PairBlock]
+    result_counted: Optional[CountedPairBlock]
+    explanation: PlanExplanation
+    shard_explanations: List[PlanExplanation] = field(default_factory=list)
+
+
+def _concat_counted(blocks: List[CountedPairBlock], arity: int) -> CountedPairBlock:
+    """One ``np.concatenate`` per column across all non-empty blocks."""
+    blocks = [block for block in blocks if len(block)]
+    if not blocks:
+        return CountedPairBlock.empty(arity)
+    if len(blocks) == 1:
+        return blocks[0]
+    return CountedPairBlock(
+        tuple(
+            np.concatenate([block.columns[j] for block in blocks])
+            for j in range(blocks[0].arity)
+        ),
+        np.concatenate([block.counts for block in blocks]),
+    )
+
+
+def _cache_counts(explanation: PlanExplanation) -> Dict[str, int]:
+    hits = sum(1 for op in explanation.operators if op.detail.get("cache") == "hit")
+    misses = sum(1 for op in explanation.operators if op.detail.get("cache") == "miss")
+    return {"cache_hits": hits, "cache_misses": misses}
+
+
+def execute_sharded(
+    routed: RoutedQuery,
+    planner_for: PlannerFactory,
+    config: MMJoinConfig,
+    executor: Optional[Any] = None,
+) -> ShardedResult:
+    """Run every shard subquery and merge the results.
+
+    Parameters
+    ----------
+    planner_for:
+        ``config -> Planner`` (the session's cached, context-wired planners).
+    executor:
+        An object with ``map(func, items)`` (the session's persistent
+        :class:`~repro.parallel.executor.ParallelExecutor`) used to fan the
+        shard subplans out when ``config.cores > 1``; ``None`` or one
+        subquery runs serially.
+    """
+    start = time.perf_counter()
+    shard_config = config.with_cores(1) if config.cores > 1 else config
+
+    def run_one(sub: ShardSubquery) -> PhysicalPlan:
+        plan = planner_for(shard_config).create_plan(sub.query, shard=sub.shard)
+        plan.execute()
+        return plan
+
+    subqueries = routed.subqueries
+    if executor is not None and config.cores > 1 and len(subqueries) > 1:
+        plans = executor.map(run_one, subqueries)
+    else:
+        plans = [run_one(sub) for sub in subqueries]
+
+    # ---- cross-shard merge (one concat + one packed-key unique) ---------- #
+    merge_start = time.perf_counter()
+    arity = routed.arity
+    states = [plan.state for plan in plans]
+    if routed.counting:
+        counted_blocks = [
+            state.result_counted for state in states
+            if state is not None and state.result_counted is not None
+        ]
+        merged_counted = _concat_counted(counted_blocks, arity).dedup(reduce="sum")
+        merged_block = merged_counted.pairs_block()
+    else:
+        blocks = [
+            state.result_block for state in states
+            if state is not None and state.result_block is not None
+        ]
+        merged_counted = None
+        merged_block = PairBlock.concat_all(blocks, arity=arity).dedup()
+    merge_seconds = time.perf_counter() - merge_start
+
+    shard_explanations = [plan.explain() for plan in plans]
+    explanation = _rollup(
+        routed, config, shard_explanations, merged_block,
+        merge_seconds=merge_seconds,
+        total_seconds=time.perf_counter() - start,
+    )
+    return ShardedResult(
+        result_block=merged_block,
+        result_counted=merged_counted,
+        explanation=explanation,
+        shard_explanations=shard_explanations,
+    )
+
+
+def _rollup(
+    routed: RoutedQuery,
+    config: MMJoinConfig,
+    shard_explanations: List[PlanExplanation],
+    merged_block: PairBlock,
+    merge_seconds: float,
+    total_seconds: float,
+) -> PlanExplanation:
+    """Aggregate per-shard explanations into one plan-level explanation."""
+    operators: Dict[str, OperatorReport] = {}
+    order: List[str] = []
+    for sub_exp in shard_explanations:
+        for op in sub_exp.operators:
+            agg = operators.get(op.operator)
+            if agg is None:
+                agg = OperatorReport(operator=op.operator, status="skipped",
+                                     detail={"shards_ran": 0})
+                operators[op.operator] = agg
+                order.append(op.operator)
+            agg.estimated_cost += float(op.estimated_cost)
+            agg.actual_seconds += float(op.actual_seconds)
+            if op.status == "ran":
+                agg.status = "ran"
+                agg.detail["shards_ran"] = agg.detail.get("shards_ran", 0) + 1
+            for key in ("memory_in_bytes", "memory_out_bytes"):
+                if key in op.detail:
+                    agg.detail[key] = agg.detail.get(key, 0) + int(op.detail[key])
+            cache = op.detail.get("cache")
+            if cache in ("hit", "miss"):
+                counter = f"cache_{cache}es" if cache == "miss" else "cache_hits"
+                agg.detail[counter] = agg.detail.get(counter, 0) + 1
+
+    reports = [operators[name] for name in order]
+    reports.append(OperatorReport(
+        operator="shard_merge",
+        status="ran",
+        actual_seconds=merge_seconds,
+        detail={"shards_merged": len(shard_explanations),
+                "output_size": len(merged_block)},
+    ))
+
+    backends = sorted({
+        sub_exp.backend for sub_exp in shard_explanations
+        if any(op.operator == "matmul_heavy" and op.status == "ran"
+               for op in sub_exp.operators)
+    })
+    shard_reports: List[Dict[str, Any]] = []
+    for sub, sub_exp in zip(routed.subqueries, shard_explanations):
+        counts = _cache_counts(sub_exp)
+        shard_reports.append({
+            "shard": sub.shard,
+            "kind": sub.kind,
+            "input_tuples": sub.input_tuples,
+            "strategy": sub_exp.strategy,
+            "backend": sub_exp.backend,
+            "output_size": sub_exp.output_size,
+            "seconds": sub_exp.total_seconds,
+            **counts,
+        })
+
+    return PlanExplanation(
+        query_kind=routed.query.kind,
+        strategy="sharded",
+        backend="+".join(backends) if backends else config.matrix_backend,
+        delta1=0,
+        delta2=0,
+        operators=reports,
+        total_seconds=total_seconds,
+        estimated_total_cost=sum(e.estimated_total_cost for e in shard_explanations),
+        estimated_output=sum(e.estimated_output for e in shard_explanations),
+        output_size=len(merged_block),
+        session_stats={
+            "shards_planned": routed.num_shards,
+            "shards_executed": len(routed.subqueries),
+            "shards_skipped_empty": routed.skipped_empty,
+            "operator_cache_hits": sum(
+                _cache_counts(e)["cache_hits"] for e in shard_explanations
+            ),
+            "operator_cache_misses": sum(
+                _cache_counts(e)["cache_misses"] for e in shard_explanations
+            ),
+        },
+        shard_reports=shard_reports,
+    )

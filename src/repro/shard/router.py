@@ -1,0 +1,130 @@
+"""Query routing over sharded relations.
+
+The :class:`ShardRouter` decides whether a logical query can run as a set of
+independent per-shard subplans, and constructs those subplans.  Routing is
+conservative — the sharded path must be *exactly* equivalent to the
+unsharded one — so the router falls back to single-shard (unsharded)
+evaluation whenever:
+
+* any relation in the query is not registered sharded (ad-hoc relations,
+  unsharded registrations, stale relation objects from before a mutation);
+* the session's spec has a single shard (``QuerySession(shards=1)``);
+* the relations were sharded under diverging specs (cannot happen inside
+  one session, which freezes a single spec, but guarded anyway).
+
+Because every relation in a routable query shares one
+:class:`~repro.shard.spec.ShardingSpec`, a join key's tuples sit in the same
+shard id across all relations, so shard ``i`` of the query joins shard ``i``
+of every input and nothing else.  Shards where any input slice is empty are
+skipped outright — their subquery result is provably empty.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.plan.query import (
+    ContainmentJoinQuery,
+    JoinProjectQuery,
+    SimilarityJoinQuery,
+    StarQuery,
+    TwoPathQuery,
+)
+from repro.shard.sharded import ShardedRelation
+
+# Resolver: relation object -> (name, ShardedRelation) or None when the
+# relation is not (currently) registered sharded.
+ShardResolver = Callable[[object], Optional[Tuple[str, ShardedRelation]]]
+
+
+@dataclass
+class ShardSubquery:
+    """One shard's slice of a routed query."""
+
+    shard: int
+    kind: str  # "hash" | "heavy"
+    query: JoinProjectQuery
+    input_tuples: int
+
+
+@dataclass
+class RoutedQuery:
+    """A query decomposed into per-shard subqueries."""
+
+    query: JoinProjectQuery          # the lowered query (two-path / star)
+    names: Tuple[str, ...]           # catalog names of the sharded inputs
+    subqueries: List[ShardSubquery] = field(default_factory=list)
+    skipped_empty: int = 0
+    num_shards: int = 0
+
+    @property
+    def counting(self) -> bool:
+        return self.query.with_counts
+
+    @property
+    def arity(self) -> int:
+        return len(self.query.join_relations())
+
+
+class ShardRouter:
+    """Maps logical queries onto per-shard subplans (or declines)."""
+
+    def __init__(self, resolve: ShardResolver) -> None:
+        self._resolve = resolve
+        # Counter updates are locked: the session serves queries (and hence
+        # routes) from multiple threads via submit_batch / asubmit.
+        self._lock = threading.Lock()
+        self.last_fallback: Optional[str] = None
+        self.routed = 0
+        self.fallbacks = 0
+
+    def route(self, query: JoinProjectQuery) -> Optional[RoutedQuery]:
+        """A :class:`RoutedQuery`, or ``None`` (with ``last_fallback`` set)."""
+        if isinstance(query, (SimilarityJoinQuery, ContainmentJoinQuery)):
+            query = query.lower()
+        relations = query.join_relations()
+        if not relations:
+            return self._fallback("query has no relations")
+        entries = [self._resolve(rel) for rel in relations]
+        if any(entry is None for entry in entries):
+            return self._fallback("relation not registered sharded")
+        names = tuple(name for name, _ in entries)  # type: ignore[misc]
+        sharded = [container for _, container in entries]  # type: ignore[misc]
+        spec = sharded[0].spec
+        if any(container.spec != spec for container in sharded[1:]):
+            return self._fallback("relations sharded under diverging specs")
+        if spec.num_shards <= 1:
+            return self._fallback("spec has a single shard")
+        routed = RoutedQuery(query=query, names=names, num_shards=spec.num_shards)
+        for shard in range(spec.num_shards):
+            slices = [container.shard(shard) for container in sharded]
+            if any(len(slice_) == 0 for slice_ in slices):
+                routed.skipped_empty += 1
+                continue
+            routed.subqueries.append(ShardSubquery(
+                shard=shard,
+                kind=spec.kind(shard),
+                query=self._subquery(query, slices),
+                input_tuples=sum(len(slice_) for slice_ in slices),
+            ))
+        with self._lock:
+            self.last_fallback = None
+            self.routed += 1
+        return routed
+
+    @staticmethod
+    def _subquery(query: JoinProjectQuery, slices) -> JoinProjectQuery:
+        if isinstance(query, TwoPathQuery):
+            return TwoPathQuery(left=slices[0], right=slices[1],
+                                counting=query.counting)
+        if isinstance(query, StarQuery):
+            return StarQuery(slices)
+        raise TypeError(f"cannot shard query of type {type(query).__name__}")
+
+    def _fallback(self, reason: str) -> None:
+        with self._lock:
+            self.last_fallback = reason
+            self.fallbacks += 1
+        return None

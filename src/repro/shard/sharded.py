@@ -1,0 +1,153 @@
+"""Sharded containers: a relation hash-partitioned on the join attribute.
+
+A :class:`ShardedRelation` holds one :class:`~repro.data.relation.Relation`
+per shard of a :class:`~repro.shard.spec.ShardingSpec`, partitioned on the
+``y`` column (the join/witness attribute).  Shard slices inherit the base
+relation's lexicographic order, so each shard is constructed with
+``sorted_dedup=True`` and builds its own lazy layouts (``sorted_by_y``,
+indexes, degree maps) independently — which is exactly what the serving
+layer caches per shard.
+
+Set families shard through their backing relation: a sharded family is the
+sharded membership relation, and the similarity/containment joins lower to
+counting two-path queries over it.
+
+``combined()`` re-materialises the full relation (needed by unsharded
+fallback paths, statistics and the catalog) with a packed-key merge of the
+already-sorted shard slices; it is cached and only rebuilt after
+:meth:`replace_shard`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.pairblock import _pack, _pack_layout
+from repro.data.relation import Relation
+from repro.shard.spec import ShardingSpec
+
+
+def _sorted_rows(data: np.ndarray) -> np.ndarray:
+    """Rows sorted lexicographically; packed-int64 keys when the domain fits."""
+    if data.shape[0] <= 1:
+        return data
+    columns = [data[:, 0], data[:, 1]]
+    layout = _pack_layout([columns])
+    if layout is not None:
+        order = np.argsort(_pack(columns, *layout), kind="stable")
+    else:
+        order = np.lexsort((data[:, 1], data[:, 0]))
+    return data[order]
+
+
+class ShardedRelation:
+    """A relation split into per-shard sub-relations on the join attribute."""
+
+    def __init__(self, spec: ShardingSpec, shards: List[Relation], name: str,
+                 base: Optional[Relation] = None) -> None:
+        if len(shards) != spec.num_shards:
+            raise ValueError(
+                f"expected {spec.num_shards} shards, got {len(shards)}"
+            )
+        self.spec = spec
+        self.name = name
+        self._shards = list(shards)
+        self._combined = base
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def partition(cls, relation: Relation, spec: ShardingSpec,
+                  name: Optional[str] = None) -> "ShardedRelation":
+        """Split a relation by the spec's key -> shard assignment.
+
+        Boolean-mask slices of the (sorted, deduplicated) base data stay
+        sorted and deduplicated, so every shard is built with
+        ``sorted_dedup=True`` — no per-shard re-sorting.
+        """
+        name = name or relation.name
+        owners = spec.shard_of_keys(relation.ys)
+        shards: List[Relation] = []
+        data = relation.data
+        for shard in range(spec.num_shards):
+            # Boolean indexing copies, so the slice is independent of the
+            # (read-only) base view.
+            shards.append(
+                Relation(data[owners == shard], name=f"{name}#{shard}",
+                         sorted_dedup=True)
+            )
+        return cls(spec=spec, shards=shards, name=name, base=relation)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return self.spec.num_shards
+
+    @property
+    def shards(self) -> List[Relation]:
+        return list(self._shards)
+
+    def shard(self, shard: int) -> Relation:
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.num_shards})")
+        return self._shards[shard]
+
+    def sizes(self) -> List[int]:
+        """Tuples per shard."""
+        return [len(s) for s in self._shards]
+
+    def __len__(self) -> int:
+        return sum(self.sizes())
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedRelation({self.name!r}, shards={self.num_shards}, "
+            f"tuples={len(self)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def replace_shard(self, shard: int, relation: Relation) -> Relation:
+        """Swap one shard's data; returns the stored (renamed) sub-relation.
+
+        Every join key of the new rows must map to ``shard`` under the spec —
+        a shard-local update must not silently move tuples into sibling
+        shards (that would require invalidating them too).
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.num_shards})")
+        if len(relation):
+            owners = self.spec.shard_of_keys(relation.ys)
+            if not bool((owners == shard).all()):
+                foreign = np.unique(relation.ys[owners != shard])
+                raise ValueError(
+                    f"rows for shard {shard} of {self.name!r} carry join keys "
+                    f"owned by other shards: {foreign[:8].tolist()}"
+                )
+        stored = Relation(relation.data, name=f"{self.name}#{shard}",
+                          sorted_dedup=True)
+        self._shards[shard] = stored
+        self._combined = None
+        return stored
+
+    def combined(self) -> Relation:
+        """The union of all shards as one relation (cached until mutated).
+
+        Shards partition the key space, so the union has no cross-shard
+        duplicates; the merge is a single packed-key sort of the
+        concatenated (already sorted) slices.
+        """
+        if self._combined is None:
+            datas = [s.data for s in self._shards if len(s)]
+            if not datas:
+                self._combined = Relation.empty(self.name)
+            else:
+                merged = _sorted_rows(np.concatenate(datas))
+                self._combined = Relation(merged, name=self.name, sorted_dedup=True)
+        return self._combined

@@ -1,0 +1,143 @@
+"""Skew-aware shard assignment for join keys.
+
+The sharded execution layer partitions every relation *on the join
+attribute* ``y``: all tuples carrying the same witness value land in the
+same shard, in every relation sharded under the same spec.  Both MMJoin
+phases then decompose exactly — a two-path or star query over sharded
+relations is the disjoint union of the same query over each shard's slices
+(witness populations are disjoint across shards, so set results union and
+witness counts add).
+
+A :class:`ShardingSpec` is the pure function ``key -> shard``:
+
+* **hash shards** ``0 .. hash_shards-1`` take ordinary keys through a
+  splitmix64-style mix (stable across processes, unlike Python's ``hash``);
+* **heavy shards** ``hash_shards .. hash_shards+len(heavy_keys)-1`` each
+  hold exactly one heavy-hitter join key (detected from the degree
+  statistics, see :func:`repro.core.estimation.detect_heavy_join_keys`), so
+  no hash shard absorbs a dense core and the light/heavy split happens per
+  shard.
+
+The spec is deliberately data-independent once built: the serving layer
+freezes one spec per session so that every sharded relation agrees on key
+placement, which is what makes per-shard artifacts and shard-scoped cache
+invalidation sound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+KIND_HASH = "hash"
+KIND_HEAVY = "heavy"
+
+
+def _mix_keys(keys: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over int64 keys (vectorized, overflow-wrapping)."""
+    with np.errstate(over="ignore"):
+        z = keys.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
+
+
+class ShardingSpec:
+    """An immutable ``join key -> shard id`` mapping.
+
+    Parameters
+    ----------
+    hash_shards:
+        Number of ordinary hash shards (at least 1).
+    heavy_keys:
+        Sorted, distinct join keys isolated into dedicated heavy shards;
+        heavy key ``heavy_keys[j]`` owns shard ``hash_shards + j``.
+    """
+
+    __slots__ = ("hash_shards", "heavy_keys")
+
+    def __init__(self, hash_shards: int, heavy_keys: Sequence[int] = ()) -> None:
+        self.hash_shards = max(int(hash_shards), 1)
+        keys = np.unique(np.asarray(list(heavy_keys), dtype=np.int64)) if len(
+            heavy_keys
+        ) else _EMPTY
+        self.heavy_keys = keys
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    @property
+    def num_heavy(self) -> int:
+        return int(self.heavy_keys.size)
+
+    @property
+    def num_shards(self) -> int:
+        return self.hash_shards + self.num_heavy
+
+    def kind(self, shard: int) -> str:
+        """``"hash"`` or ``"heavy"`` for a shard id."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.num_shards})")
+        return KIND_HEAVY if shard >= self.hash_shards else KIND_HASH
+
+    def heavy_key_of(self, shard: int) -> int:
+        """The single join key a heavy shard holds."""
+        if self.kind(shard) != KIND_HEAVY:
+            raise ValueError(f"shard {shard} is a hash shard, not a heavy shard")
+        return int(self.heavy_keys[shard - self.hash_shards])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardingSpec):
+            return NotImplemented
+        return self.hash_shards == other.hash_shards and np.array_equal(
+            self.heavy_keys, other.heavy_keys
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardingSpec(hash_shards={self.hash_shards}, "
+            f"heavy_keys={self.heavy_keys.tolist()})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Assignment
+    # ------------------------------------------------------------------ #
+    def shard_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized shard assignment for an array of join keys."""
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        if keys.size == 0:
+            return _EMPTY
+        if self.hash_shards == 1:
+            owners = np.zeros(keys.size, dtype=np.int64)
+        else:
+            owners = (_mix_keys(keys) % np.uint64(self.hash_shards)).astype(np.int64)
+        if self.num_heavy:
+            pos = np.searchsorted(self.heavy_keys, keys)
+            clipped = np.minimum(pos, self.num_heavy - 1)
+            is_heavy = self.heavy_keys[clipped] == keys
+            owners = np.where(is_heavy, self.hash_shards + clipped, owners)
+        return owners
+
+    def shard_of(self, key: int) -> int:
+        """Shard id owning one join key."""
+        return int(self.shard_of_keys(np.asarray([key], dtype=np.int64))[0])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def describe(self) -> List[Dict[str, Any]]:
+        """One row per shard: id, kind, and the heavy key where applicable."""
+        rows: List[Dict[str, Any]] = []
+        for shard in range(self.num_shards):
+            kind = self.kind(shard)
+            rows.append({
+                "shard": shard,
+                "kind": kind,
+                "heavy_key": self.heavy_key_of(shard) if kind == KIND_HEAVY else "-",
+            })
+        return rows

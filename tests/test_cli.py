@@ -57,6 +57,16 @@ class TestParser:
             args = build_parser().parse_args(["join", "f.txt", "--backend", backend])
             assert args.backend == backend
 
+    def test_join_shards_flag(self):
+        args = build_parser().parse_args(["join", "f.txt", "--shards", "4"])
+        assert args.shards == 4
+        assert build_parser().parse_args(["join", "f.txt"]).shards == 1
+
+    def test_shard_defaults(self):
+        args = build_parser().parse_args(["shard", "f.txt"])
+        assert args.command == "shard"
+        assert args.shards == 4 and args.repeat == 2
+
 
 class TestCommands:
     def test_join_command(self, edge_file, capsys):
@@ -111,6 +121,23 @@ class TestCommands:
         assert main(["explain", edge_file, "--delta1", "1", "--delta2", "1",
                      "--backend", "sparse"]) == 0
         assert "sparse" in capsys.readouterr().out
+
+    def test_join_sharded(self, edge_file, capsys):
+        assert main(["join", edge_file, "--shards", "3",
+                     "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded" in out and "shards_executed" in out
+
+    def test_shard_command(self, edge_file, capsys):
+        assert main(["shard", edge_file, "--shards", "3",
+                     "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        # Layout table, per-shard plan breakdown and cumulative hit rates.
+        assert "shard layout" in out
+        assert "hash" in out
+        assert "cache h/m" in out
+        assert "per-shard operator cache hit rates" in out
+        assert "router:" in out
 
     def test_session_command(self, edge_file, capsys):
         assert main(["session", edge_file, "--repeat", "2",

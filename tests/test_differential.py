@@ -1,9 +1,12 @@
 """Cross-engine differential harness.
 
 Every registered query engine, every matmul backend, serial and parallel
-execution, and the session-cached vs. cold paths must produce *identical*
-pair sets (and witness counts where applicable) on random queries drawn from
-the shared strategies.  The combinatorial baseline is the oracle.
+execution, the session-cached vs. cold paths, and the sharded execution
+layer (across shard counts and cold / warm / ``update_shard`` session
+states) must produce *identical* pair sets (and witness counts where
+applicable) on random queries drawn from the shared strategies.  The
+combinatorial baseline is the oracle; the skewed / heavy-hitter generators
+are the adversarial case for shard placement.
 
 All properties run derandomized (a fixed hypothesis seed per test), so the
 harness is deterministic in CI and a failure reproduces locally verbatim.
@@ -11,9 +14,20 @@ harness is deterministic in CI and a failure reproduces locally verbatim.
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
 import pytest
 from hypothesis import given, settings
-from strategies import relation_lists, relation_pairs, set_families
+from strategies import (
+    relation_lists,
+    relation_pairs,
+    relations,
+    set_families,
+    skewed_pair_lists,
+)
+
+from repro.data.relation import Relation
 
 from repro.core.config import MMJoinConfig
 from repro.core.two_path import two_path_join, two_path_join_counts
@@ -29,6 +43,12 @@ from repro.setops.ssj import ssj_bruteforce
 ALL_ENGINES = available_engines()
 ALL_BACKENDS = make_default_registry().names()
 CORE_COUNTS = (1, 2)
+
+# Shard-count axis: 1 exercises the single-shard fallback; 3 and 8 exercise
+# hash + heavy-shard layouts.  CI can inject an extra count through
+# REPRO_TEST_SHARDS (the shard-enabled matrix entry sets it to 3).
+_ENV_SHARDS = int(os.environ.get("REPRO_TEST_SHARDS", "0") or "0")
+SHARD_COUNTS = tuple(sorted({1, 3, 8} | ({_ENV_SHARDS} if _ENV_SHARDS > 1 else set())))
 
 # Derandomized: the whole differential harness runs under fixed seeds.
 DIFF_SETTINGS = dict(max_examples=6, deadline=None, derandomize=True)
@@ -185,3 +205,127 @@ class TestSessionAgreesWithCold:
             fresh = session.two_path("L", "R")
             assert not fresh.from_memo
             assert fresh.pairs == combinatorial_two_path(right, right)
+
+
+# --------------------------------------------------------------------------- #
+# Sharded vs unsharded: engines x backends x shard counts x session states
+# --------------------------------------------------------------------------- #
+def _sharded_session(left, right, shards, config=None):
+    session = QuerySession(
+        config=config or MMJoinConfig(delta1=2, delta2=2), shards=shards
+    )
+    session.register(left, name="L", sharded=True)
+    session.register(right, name="R", sharded=True)
+    return session
+
+
+def _mutate_one_shard(session, name):
+    """Halve the fullest shard's rows through update_shard; returns success."""
+    container = session.sharded(name)
+    sizes = container.sizes()
+    target = int(np.argmax(sizes))
+    if sizes[target] == 0:
+        return False
+    kept = container.shard(target).data[::2]
+    session.update_shard(name, target, np.array(kept))
+    return True
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+class TestShardedAgreesWithUnsharded:
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_two_path_cold_warm_memo(self, shards, pair):
+        left, right = pair
+        expected = combinatorial_two_path(left, right)
+        with _sharded_session(left, right, shards) as session:
+            cold = session.two_path("L", "R", use_memo=False)
+            warm = session.two_path("L", "R", use_memo=False)
+            session.two_path("L", "R")
+            memo = session.two_path("L", "R")
+        assert cold.pairs == expected
+        assert warm.pairs == expected
+        assert memo.pairs == expected and memo.from_memo
+
+    @settings(**DIFF_SETTINGS)
+    @given(rows=skewed_pair_lists(max_size=100))
+    def test_heavy_hitter_two_path_across_engines(self, shards, rows):
+        """The adversarial case for shard placement: hot witnesses."""
+        skewed = Relation.from_pairs(rows, name="L")
+        expected = combinatorial_two_path(skewed, skewed)
+        with _sharded_session(skewed, skewed, shards) as session:
+            sharded = session.two_path("L", "L", use_memo=False)
+        assert sharded.pairs == expected
+        for name in ALL_ENGINES:
+            assert make_engine(name).two_path(skewed, skewed) == sharded.pairs, name
+
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    @given(pair=relation_pairs(max_size=60))
+    def test_counts_per_backend(self, shards, pair):
+        left, right = pair
+        expected = hash_join_project_counts(left, right)
+        for backend in ALL_BACKENDS:
+            config = MMJoinConfig(delta1=1, delta2=1, matrix_backend=backend)
+            with _sharded_session(left, right, shards, config=config) as session:
+                cold = session.two_path("L", "R", counting=True, use_memo=False)
+                warm = session.two_path("L", "R", counting=True, use_memo=False)
+            assert cold.counts == expected, backend
+            assert warm.counts == expected, backend
+
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_update_shard_matches_recompute(self, shards, pair):
+        left, right = pair
+        with _sharded_session(left, right, shards) as session:
+            warm_before = session.two_path("L", "R", use_memo=False)
+            assert warm_before.pairs == combinatorial_two_path(left, right)
+            if not _mutate_one_shard(session, "L"):
+                return  # empty input: nothing to mutate
+            mutated = session.relation("L")
+            after = session.two_path("L", "R", use_memo=False)
+            counted = session.two_path("L", "R", counting=True, use_memo=False)
+        expected = combinatorial_two_path(mutated, right)
+        assert after.pairs == expected
+        assert counted.counts == hash_join_project_counts(mutated, right)
+        # a cold unsharded session over the mutated data agrees
+        assert two_path_join(mutated, right,
+                             config=MMJoinConfig(delta1=2, delta2=2)).pairs == expected
+
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    @given(rels=relation_lists(max_size=50))
+    def test_star_sharded(self, shards, rels):
+        expected = combinatorial_star(rels)
+        with QuerySession(config=MMJoinConfig(delta1=2, delta2=2),
+                          shards=shards) as session:
+            names = [
+                session.register(rel, name=f"R{i}", sharded=True)
+                for i, rel in enumerate(rels)
+            ]
+            cold = session.star(names, use_memo=False)
+            warm = session.star(names, use_memo=False)
+        assert cold.pairs == expected
+        assert warm.pairs == expected
+
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    @given(family=set_families(max_size=60))
+    def test_ssj_scj_sharded(self, shards, family):
+        expected_ssj = ssj_bruteforce(family, c=2)
+        expected_scj = scj_bruteforce(family, family)
+        with QuerySession(config=MMJoinConfig(delta1=2, delta2=2),
+                          shards=shards) as session:
+            session.register_family(family, name="F", sharded=True)
+            ssj = session.similarity("F", c=2)
+            scj = session.containment("F")
+        assert ssj.pairs == expected_ssj.pairs
+        assert ssj.counts == expected_ssj.counts
+        assert scj.pairs == expected_scj.pairs
+
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    @given(rel=relations(max_size=80))
+    def test_parallel_fanout_agrees(self, shards, rel):
+        expected = combinatorial_two_path(rel, rel)
+        config = MMJoinConfig(delta1=2, delta2=2, cores=2)
+        with QuerySession(config=config, shards=shards) as session:
+            session.register(rel, name="L", sharded=True)
+            result = session.two_path("L", "L", use_memo=False)
+        assert result.pairs == expected

@@ -92,3 +92,22 @@ def test_explain_session_warm_golden(golden):
     assert caches["light_heavy_partition"] == "hit"
     assert caches["matmul_heavy"] == "hit"
     golden("explain_session_warm", normalize(explanation.format()))
+
+
+def test_explain_sharded_golden(golden):
+    """The rolled-up sharded explanation: per-shard breakdown, warm hits."""
+    config = MMJoinConfig(delta1=2, delta2=2, matrix_backend="dense")
+    left = skewed_random_relation(11, n_pairs=200, x_domain=20, y_domain=14,
+                                  name="R")
+    right = skewed_random_relation(12, n_pairs=200, x_domain=20, y_domain=14,
+                                   name="S")
+    with QuerySession(config=config, feedback=False, shards=3) as session:
+        session.register(left, name="R", sharded=True)
+        session.register(right, name="S", sharded=True)
+        session.two_path("R", "S", use_memo=False)
+        warm = session.two_path("R", "S", use_memo=False)
+    explanation = warm.explanation
+    assert explanation is not None
+    assert explanation.strategy == "sharded"
+    assert explanation.shard_reports
+    golden("explain_sharded_warm", normalize(explanation.format()))
