@@ -29,6 +29,18 @@ def results_dir() -> Path:
 
 
 @pytest.fixture(scope="session")
+def record_json(results_dir):
+    """Merge one micro-benchmark's headline metrics into BENCH_micro.json."""
+
+    def _record(experiment: str, metrics: Mapping[str, object]):
+        from repro.bench.report import record_bench_json
+
+        return record_bench_json(experiment, metrics, results_dir)
+
+    return _record
+
+
+@pytest.fixture(scope="session")
 def record_rows(results_dir):
     """Write a list of dict rows (one experiment's output) to a result file."""
 

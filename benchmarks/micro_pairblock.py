@@ -84,14 +84,22 @@ def run_rows(sizes=WORKLOAD_SIZES, repeats: int = 3) -> List[Dict[str, object]]:
     return rows
 
 
+def headline_metrics(rows) -> Dict[str, object]:
+    """The BENCH_micro.json entry: speedup at the largest workload."""
+    largest = max(rows, key=lambda row: row["pairs"])
+    return {"columnar_dedup_speedup": largest["speedup"],
+            "pairs": largest["pairs"]}
+
+
 def main() -> None:
-    from repro.bench.report import format_table
+    from repro.bench.report import format_table, record_bench_json
 
     rows = run_rows()
     text = format_table(rows, title="Microbenchmark: set-based vs columnar dedup-merge")
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(text + "\n", encoding="utf-8")
     print(text)
+    record_bench_json("micro_pairblock", headline_metrics(rows), RESULTS_PATH.parent)
 
 
 if __name__ == "__main__":

@@ -107,14 +107,23 @@ def run_rows(repeats: int = 3) -> List[Dict[str, object]]:
     return rows
 
 
+def headline_metrics(rows) -> Dict[str, object]:
+    """The BENCH_micro.json entry: speedups on the largest workload."""
+    largest = max(rows, key=lambda row: row["tuples"])
+    return {"warm_speedup": largest["warm_speedup"],
+            "memo_speedup": largest["memo_speedup"],
+            "tuples": largest["tuples"]}
+
+
 def main() -> None:
-    from repro.bench.report import format_table
+    from repro.bench.report import format_table, record_bench_json
 
     rows = run_rows()
     text = format_table(rows, title="Microbenchmark: cold vs warm session serving")
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(text + "\n", encoding="utf-8")
     print(text)
+    record_bench_json("micro_session_cache", headline_metrics(rows), RESULTS_PATH.parent)
 
 
 if __name__ == "__main__":

@@ -168,8 +168,16 @@ def run_rows(repeats: int = 3) -> List[Dict[str, object]]:
     return rows
 
 
+def headline_metrics(rows) -> Dict[str, object]:
+    """The BENCH_micro.json entry: update-path speedup at the acceptance K."""
+    row = next(r for r in rows if r["shards"] == ACCEPTANCE_SHARDS)
+    return {"requery_speedup_vs_cold": row["requery_speedup_vs_cold"],
+            "warm_seconds": row["warm_seconds"],
+            "shards": row["shards"]}
+
+
 def main() -> None:
-    from repro.bench.report import format_table
+    from repro.bench.report import format_table, record_bench_json
 
     rows = run_rows()
     text = format_table(
@@ -178,6 +186,7 @@ def main() -> None:
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(text + "\n", encoding="utf-8")
     print(text)
+    record_bench_json("micro_shard_scaling", headline_metrics(rows), RESULTS_PATH.parent)
 
 
 if __name__ == "__main__":

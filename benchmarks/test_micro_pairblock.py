@@ -9,13 +9,14 @@ set-based merge on the 10^6-pair workload.
 import micro_pairblock
 
 
-def test_micro_pairblock_table(benchmark, record_rows):
+def test_micro_pairblock_table(benchmark, record_rows, record_json):
     rows = benchmark.pedantic(micro_pairblock.run_rows, rounds=1, iterations=1)
     text = record_rows(
         "micro_pairblock", rows,
         title="Microbenchmark: set-based vs columnar dedup-merge",
     )
     print("\n" + text)
+    record_json("micro_pairblock", micro_pairblock.headline_metrics(rows))
     acceptance = [r for r in rows if r["pairs"] == 1_000_000]
     assert acceptance, "10^6-pair workload missing from the sweep"
     assert acceptance[0]["speedup"] >= 2.0, acceptance[0]

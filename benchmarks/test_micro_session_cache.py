@@ -10,13 +10,14 @@ the repeated two-path query is at least 3x faster than cold on the
 import micro_session_cache
 
 
-def test_micro_session_cache_table(benchmark, record_rows):
+def test_micro_session_cache_table(benchmark, record_rows, record_json):
     rows = benchmark.pedantic(micro_session_cache.run_rows, rounds=1, iterations=1)
     text = record_rows(
         "micro_session_cache", rows,
         title="Microbenchmark: cold vs warm session serving",
     )
     print("\n" + text)
+    record_json("micro_session_cache", micro_session_cache.headline_metrics(rows))
     acceptance = [r for r in rows
                   if r["workload"] == micro_session_cache.ACCEPTANCE_WORKLOAD]
     assert acceptance, "acceptance workload missing from the sweep"

@@ -11,13 +11,14 @@ prove every sibling shard stayed warm.
 import micro_shard_scaling
 
 
-def test_micro_shard_scaling_table(benchmark, record_rows):
+def test_micro_shard_scaling_table(benchmark, record_rows, record_json):
     rows = benchmark.pedantic(micro_shard_scaling.run_rows, rounds=1, iterations=1)
     text = record_rows(
         "micro_shard_scaling", rows,
         title="Microbenchmark: shard-count sweep, update-path re-serving",
     )
     print("\n" + text)
+    record_json("micro_shard_scaling", micro_shard_scaling.headline_metrics(rows))
     by_shards = {row["shards"]: row for row in rows}
     assert set(by_shards) == set(micro_shard_scaling.SHARD_COUNTS)
     acceptance = by_shards[micro_shard_scaling.ACCEPTANCE_SHARDS]

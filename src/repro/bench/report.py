@@ -2,10 +2,17 @@
 
 The benchmarks print the same rows / series the paper's tables and figures
 report, so EXPERIMENTS.md can be filled by copying the benchmark output.
+:func:`record_bench_json` additionally maintains one machine-readable
+``BENCH_micro.json`` (per-benchmark headline metrics, timestamp, commit)
+so the micro-benchmark perf trajectory is trackable across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import subprocess
+import time
+from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 
@@ -66,6 +73,51 @@ def format_series(
 def print_table(rows: Sequence[Mapping[str, object]], title: str = "") -> None:
     """Print a dict-rows table (convenience for benchmarks and examples)."""
     print(format_table(rows, title=title))
+
+
+def _git_commit() -> str:
+    """The current short commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def record_bench_json(
+    experiment: str,
+    metrics: Mapping[str, object],
+    results_dir: Path,
+    filename: str = "BENCH_micro.json",
+) -> Path:
+    """Merge one micro-benchmark's headline metrics into ``BENCH_micro.json``.
+
+    The file maps ``experiment -> {metrics, timestamp, commit}``; entries
+    from other experiments are preserved, so each runner updates only its
+    own row and the file accumulates the whole micro-benchmark dashboard.
+    """
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / filename
+    data: Dict[str, object] = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            data = {}
+        if not isinstance(data, dict):
+            data = {}
+    data[str(experiment)] = {
+        "metrics": {k: v for k, v in metrics.items()},
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": _git_commit(),
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 def _format_cell(cell: object) -> str:

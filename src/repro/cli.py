@@ -121,10 +121,14 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=BACKEND_CHOICES, default="auto")
     parser.add_argument("--no-optimizer", action="store_true",
                         help="force the plain worst-case optimal join")
+    parser.add_argument("--tile-rows", type=int, default=None,
+                        help="row-band height of the tiled non-zero extraction "
+                             "(default: density-aware auto; 0 = one-shot full scan)")
 
 
 def _config_from_args(args: argparse.Namespace) -> MMJoinConfig:
-    config = MMJoinConfig(matrix_backend=args.backend)
+    config = MMJoinConfig(matrix_backend=args.backend,
+                          extract_tile_rows=getattr(args, "tile_rows", None))
     if args.delta1 is not None and args.delta2 is not None:
         config = config.with_thresholds(args.delta1, args.delta2)
     if args.no_optimizer:

@@ -65,6 +65,11 @@ class MMJoinConfig:
     max_heavy_dimension:
         Safety cap on the number of heavy values per matrix dimension; keeps
         the dense matrices within memory on very skewed inputs.
+    extract_tile_rows:
+        Row-band height of the dense backends' tiled non-zero extraction
+        (see :mod:`repro.matmul.tiling`).  ``None`` (default) resolves a
+        density-aware tile automatically; ``0`` forces the one-shot full
+        scan; any positive value pins the band height.
     use_optimizer:
         When False and thresholds are given, they are used verbatim; when
         True the cost-based optimizer may still fall back to the plain WCOJ.
@@ -79,6 +84,7 @@ class MMJoinConfig:
     cores: int = 1
     optimizer_shrink: float = 0.5
     max_heavy_dimension: int = 20_000
+    extract_tile_rows: Optional[int] = None
     use_optimizer: bool = True
 
     def __post_init__(self) -> None:
@@ -103,6 +109,10 @@ class MMJoinConfig:
             raise ValueError("delta1 must be at least 1")
         if self.delta2 is not None and self.delta2 < 1:
             raise ValueError("delta2 must be at least 1")
+        if self.extract_tile_rows is not None and self.extract_tile_rows < 0:
+            raise ValueError(
+                "extract_tile_rows must be None (auto), 0 (full scan) or positive"
+            )
 
     def cache_signature(self) -> tuple:
         """The fields that can change a plan or its derived artifacts.
@@ -120,6 +130,7 @@ class MMJoinConfig:
             self.cores,
             self.optimizer_shrink,
             self.max_heavy_dimension,
+            self.extract_tile_rows,
             self.use_optimizer,
         )
 

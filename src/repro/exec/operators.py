@@ -48,6 +48,7 @@ from repro.joins.baseline import (
     star_expansion_block,
 )
 from repro.matmul.registry import BackendRegistry
+from repro.matmul.tiling import tiled_nonzero_coords
 from repro.parallel.executor import ParallelExecutor, split_relation
 
 Pair = Tuple[int, int]
@@ -483,9 +484,11 @@ class MatMulHeavy(PhysicalOperator):
                 partition.r_heavy, partition.s_heavy, rows, mids, cols
             ),
         )
+        extract_stats: Dict[str, Any] = {}
         block, build_seconds, multiply_seconds = backend.heavy_pairs(
             partition.r_heavy, partition.s_heavy, rows, mids, cols,
             cores=state.config.cores, operands=operands,
+            tile_rows=state.config.extract_tile_rows, extract_stats=extract_stats,
         )
         if cache_status is not None:
             self.detail["cache"] = cache_status
@@ -494,6 +497,7 @@ class MatMulHeavy(PhysicalOperator):
         self.detail["build_seconds"] = build_seconds
         self.detail["multiply_seconds"] = multiply_seconds
         self.detail["heavy_pairs"] = len(block)
+        self.detail.update(extract_stats)
 
     def _run_counts(self, state: ExecutionState) -> None:
         partition = state.partition
@@ -532,9 +536,11 @@ class MatMulHeavy(PhysicalOperator):
             state, backend,
             lambda: backend.build_operands(left_heavy, right_heavy, rows, heavy_y, cols),
         )
+        extract_stats: Dict[str, Any] = {}
         counted, build_seconds, multiply_seconds = backend.heavy_counts(
             left_heavy, right_heavy, rows, heavy_y, cols,
             cores=state.config.cores, operands=operands,
+            tile_rows=state.config.extract_tile_rows, extract_stats=extract_stats,
         )
         if cache_status is not None:
             self.detail["cache"] = cache_status
@@ -543,6 +549,7 @@ class MatMulHeavy(PhysicalOperator):
         self.detail["build_seconds"] = build_seconds
         self.detail["multiply_seconds"] = multiply_seconds
         self.detail["heavy_pairs"] = len(counted)
+        self.detail.update(extract_stats)
 
     def _run_star(self, state: ExecutionState) -> None:
         partition = state.partition
@@ -583,7 +590,12 @@ class MatMulHeavy(PhysicalOperator):
         backend = self._select(state, dims, nnz_a, nnz_b)
         multiply_start = time.perf_counter()
         product = backend.multiply_dense(matrix_a, matrix_b.T, cores=state.config.cores)
-        hit_rows, hit_cols = np.nonzero(np.asarray(product) > 0.5)
+        extract_stats: Dict[str, Any] = {}
+        hit_rows, hit_cols = tiled_nonzero_coords(
+            np.asarray(product), threshold=0.5,
+            tile_rows=state.config.extract_tile_rows, stats=extract_stats,
+        )
+        self.detail.update(extract_stats)
         # Head tuples are column gathers from the two grouped row tables —
         # cells of a product are unique, so the block is born deduplicated.
         head_a = rows_a[hit_rows]

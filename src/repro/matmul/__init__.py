@@ -14,6 +14,13 @@ from repro.matmul.sparse import sparse_count_matmul, sparse_boolean_matmul, buil
 from repro.matmul.blocked import blocked_matmul, rectangular_cost
 from repro.matmul.strassen import strassen_matmul
 from repro.matmul.cost_model import MatMulCostModel, theoretical_cost
+from repro.matmul.tiling import (
+    choose_tile_rows,
+    extraction_plan,
+    tiled_nonzero_block,
+    tiled_nonzero_counted_block,
+    tiled_nonzero_coords,
+)
 from repro.matmul.registry import (
     BackendRegistry,
     MatMulBackend,
@@ -38,6 +45,11 @@ __all__ = [
     "strassen_matmul",
     "MatMulCostModel",
     "theoretical_cost",
+    "choose_tile_rows",
+    "extraction_plan",
+    "tiled_nonzero_block",
+    "tiled_nonzero_counted_block",
+    "tiled_nonzero_coords",
     "BackendRegistry",
     "MatMulBackend",
     "default_registry",

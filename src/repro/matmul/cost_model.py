@@ -47,11 +47,18 @@ class MatMulCostModel:
     parallel_efficiency:
         Fraction of linear speedup retained per extra core (the paper
         observes near-linear scaling for Eigen; we default to 85%).
+    extract_seconds_per_cell:
+        Per-product-cell cost of one extraction scan pass (the non-zero
+        readout the dense backends pay after the multiply).
+    tile_band_overhead_seconds:
+        Fixed Python overhead per row band of the tiled extraction scan.
     """
 
     calibration_sizes: Sequence[int] = (128, 256, 512)
     flops_per_second: float = 2.0e9
     parallel_efficiency: float = 0.85
+    extract_seconds_per_cell: float = 1.0e-9
+    tile_band_overhead_seconds: float = 3.0e-6
     _table: Dict[int, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -146,6 +153,33 @@ class MatMulCostModel:
         """
         cells = float(u) * float(v) + float(v) * float(w)
         return cells * seconds_per_cell / self.speedup(cores)
+
+    def estimate_extraction(self, u: int, w: int, cores: int = 1,
+                            tile_rows: "Optional[int]" = None) -> float:
+        """Estimate the non-zero extraction cost of a ``u x w`` product.
+
+        The one-shot scan pays roughly three passes over the product (the
+        boolean compare-and-write plus ``np.nonzero``'s count and gather
+        passes); the tiled scan pays one ``max``-reduction pass plus a fixed
+        per-band overhead (skipped bands pay nothing further, so this is the
+        tiled scan's worst case).  The plan resolution mirrors
+        :func:`repro.matmul.tiling.extraction_plan`.
+        """
+        if u <= 0 or w <= 0:
+            return 0.0
+        from repro.matmul.tiling import extraction_plan
+
+        cells = float(u) * float(w)
+        mode, band_rows = extraction_plan((int(u), int(w)), tile_rows)
+        if mode == "full":
+            seconds = 3.0 * cells * self.extract_seconds_per_cell
+        else:
+            bands = float(-(-int(u) // max(int(band_rows), 1)))
+            seconds = (
+                cells * self.extract_seconds_per_cell
+                + bands * self.tile_band_overhead_seconds
+            )
+        return seconds / self.speedup(cores)
 
     def speedup(self, cores: int) -> float:
         """Model the multi-core speedup: 1 + eff * (cores - 1)."""

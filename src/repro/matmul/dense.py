@@ -146,12 +146,17 @@ def nonzero_pairs_with_counts(
     threshold: float = 0.5,
 ) -> Dict[Pair, int]:
     """Like :func:`nonzero_pairs` but also return the witness counts."""
-    rows, cols = np.nonzero(product > threshold)
+    arr = np.asarray(product)
+    # One boolean temporary serves both the coordinates and the counts
+    # (boolean indexing yields row-major order, matching np.nonzero).
+    mask = arr > threshold
+    rows, cols = np.nonzero(mask)
+    values = arr[mask]
     row_arr = np.asarray(row_values, dtype=np.int64)
     col_arr = np.asarray(col_values, dtype=np.int64)
     return {
-        (int(row_arr[r]), int(col_arr[c])): int(round(float(product[r, c])))
-        for r, c in zip(rows, cols)
+        (int(row_arr[r]), int(col_arr[c])): int(round(float(v)))
+        for r, c, v in zip(rows, cols, values)
     }
 
 
@@ -186,10 +191,13 @@ def nonzero_counted_block(
     counts losslessly into the block's int64 count column.
     """
     arr = np.asarray(product)
-    rows, cols = np.nonzero(arr > threshold)
+    # One boolean temporary serves both the coordinates and the counts
+    # (boolean indexing yields row-major order, matching np.nonzero).
+    mask = arr > threshold
+    rows, cols = np.nonzero(mask)
     row_arr = np.asarray(row_values, dtype=np.int64)
     col_arr = np.asarray(col_values, dtype=np.int64)
-    counts = np.rint(arr[rows, cols]).astype(np.int64)
+    counts = np.rint(arr[mask]).astype(np.int64)
     return CountedPairBlock((row_arr[rows], col_arr[cols]), counts, deduped=True)
 
 

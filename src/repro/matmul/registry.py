@@ -23,6 +23,7 @@ the config validation both consult :func:`default_registry`.
 from __future__ import annotations
 
 import abc
+import inspect
 import time
 from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
@@ -33,6 +34,7 @@ from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.relation import Relation
 from repro.matmul import dense as dense_mm
 from repro.matmul import sparse as sparse_mm
+from repro.matmul import tiling
 from repro.matmul.blocked import blocked_matmul
 from repro.matmul.cost_model import MatMulCostModel
 from repro.matmul.strassen import strassen_matmul
@@ -87,13 +89,28 @@ class MatMulBackend(abc.ABC):
         """Multiply operands produced by :meth:`build_operands`."""
         return self.multiply_dense(m1, m2, cores=cores)
 
-    def extract_pairs(self, product, rows, cols, threshold: float) -> PairBlock:
-        """Output pairs from a product as a columnar :class:`PairBlock`."""
-        return dense_mm.nonzero_block(product, rows, cols, threshold=threshold)
+    def extract_pairs(self, product, rows, cols, threshold: float,
+                      tile_rows=None, stats=None) -> PairBlock:
+        """Output pairs from a product as a columnar :class:`PairBlock`.
 
-    def extract_counts(self, product, rows, cols, threshold: float) -> CountedPairBlock:
+        Dense products go through the density-aware tiled scan
+        (:mod:`repro.matmul.tiling`): all-zero row bands are skipped and
+        peak extraction memory stays ``O(tile + output)``.  ``tile_rows``
+        overrides the band height (``None`` = auto, ``0`` = one-shot scan);
+        ``stats`` collects the extraction accounting for ``explain()``.
+        """
+        return tiling.tiled_nonzero_block(
+            product, rows, cols, threshold=threshold, tile_rows=tile_rows,
+            stats=stats,
+        )
+
+    def extract_counts(self, product, rows, cols, threshold: float,
+                       tile_rows=None, stats=None) -> CountedPairBlock:
         """Witness counts from a product as a :class:`CountedPairBlock`."""
-        return dense_mm.nonzero_counted_block(product, rows, cols, threshold=threshold)
+        return tiling.tiled_nonzero_counted_block(
+            product, rows, cols, threshold=threshold, tile_rows=tile_rows,
+            stats=stats,
+        )
 
     # -- heavy-residual evaluation (shared timed template) ----------------
     def heavy_pairs(
@@ -106,15 +123,19 @@ class MatMulBackend(abc.ABC):
         threshold: float = 0.5,
         cores: int = 1,
         operands=None,
+        tile_rows=None,
+        extract_stats=None,
     ) -> Tuple[PairBlock, float, float]:
         """Output-pair block of the heavy residual plus (build, multiply) seconds.
 
         ``operands`` may carry a prebuilt ``(m1, m2)`` pair in this backend's
         native layout (e.g. out of a session's operand cache); construction
-        is then skipped and the reported build time is zero.
+        is then skipped and the reported build time is zero.  ``tile_rows``
+        and ``extract_stats`` flow into :meth:`extract_pairs`.
         """
         return self._heavy(left_heavy, right_heavy, rows, mids, cols, threshold,
-                           cores, self.extract_pairs, operands)
+                           cores, self.extract_pairs, operands, tile_rows,
+                           extract_stats)
 
     def heavy_counts(
         self,
@@ -126,13 +147,16 @@ class MatMulBackend(abc.ABC):
         threshold: float = 0.5,
         cores: int = 1,
         operands=None,
+        tile_rows=None,
+        extract_stats=None,
     ) -> Tuple[CountedPairBlock, float, float]:
         """Witness-count block of the heavy residual plus (build, multiply) seconds."""
         return self._heavy(left_heavy, right_heavy, rows, mids, cols, threshold,
-                           cores, self.extract_counts, operands)
+                           cores, self.extract_counts, operands, tile_rows,
+                           extract_stats)
 
     def _heavy(self, left_heavy, right_heavy, rows, mids, cols, threshold, cores,
-               extract, operands=None):
+               extract, operands=None, tile_rows=None, extract_stats=None):
         if operands is None:
             build_start = time.perf_counter()
             m1, m2 = self.build_operands(left_heavy, right_heavy, rows, mids, cols)
@@ -142,7 +166,18 @@ class MatMulBackend(abc.ABC):
             build_seconds = 0.0
         multiply_start = time.perf_counter()
         product = self.multiply(m1, m2, cores=cores)
-        result = extract(product, rows, cols, threshold)
+        # Runtime-registered backends may override the extraction hooks with
+        # the pre-tiling 4-argument signature; only forward the tiling
+        # keywords to overrides that can accept them.
+        params = inspect.signature(extract).parameters
+        accepts_kwargs = "tile_rows" in params or any(
+            p.kind == inspect.Parameter.VAR_KEYWORD for p in params.values()
+        )
+        if accepts_kwargs:
+            result = extract(product, rows, cols, threshold,
+                             tile_rows=tile_rows, stats=extract_stats)
+        else:
+            result = extract(product, rows, cols, threshold)
         return result, build_seconds, time.perf_counter() - multiply_start
 
 
@@ -169,8 +204,12 @@ class DenseBackend(MatMulBackend):
         u, v, w = dims
         if max(dims) > config.max_heavy_dimension:
             return float("inf")
-        return cost_model.estimate(u, v, w, cores=config.cores) + cost_model.estimate_construction(
-            u, v, w, cores=config.cores
+        return (
+            cost_model.estimate(u, v, w, cores=config.cores)
+            + cost_model.estimate_construction(u, v, w, cores=config.cores)
+            + cost_model.estimate_extraction(
+                u, w, cores=config.cores, tile_rows=config.extract_tile_rows
+            )
         )
 
 
@@ -207,12 +246,18 @@ class SparseBackend(MatMulBackend):
     def multiply(self, m1, m2, cores: int = 1):
         return sparse_mm.sparse_count_matmul(m1, m2)
 
-    def extract_pairs(self, product, rows, cols, threshold: float) -> PairBlock:
-        return sparse_mm.sparse_nonzero_block(product, rows, cols, threshold=threshold)
+    def extract_pairs(self, product, rows, cols, threshold: float,
+                      tile_rows=None, stats=None) -> PairBlock:
+        # A CSR product's COO scan is already output-proportional, so the
+        # dense tiling knob does not apply; only the accounting is recorded.
+        return sparse_mm.sparse_nonzero_block(
+            product, rows, cols, threshold=threshold, stats=stats
+        )
 
-    def extract_counts(self, product, rows, cols, threshold: float) -> CountedPairBlock:
+    def extract_counts(self, product, rows, cols, threshold: float,
+                       tile_rows=None, stats=None) -> CountedPairBlock:
         return sparse_mm.sparse_nonzero_counted_block(
-            product, rows, cols, threshold=threshold
+            product, rows, cols, threshold=threshold, stats=stats
         )
 
     def estimate_cost(
@@ -251,7 +296,11 @@ class BlockedBackend(MatMulBackend):
         u, v, w = dims
         if max(dims) > config.max_heavy_dimension:
             return float("inf")
-        return self.python_overhead * cost_model.estimate(u, v, w, cores=config.cores)
+        return self.python_overhead * cost_model.estimate(
+            u, v, w, cores=config.cores
+        ) + cost_model.estimate_extraction(
+            u, w, cores=config.cores, tile_rows=config.extract_tile_rows
+        )
 
 
 class StrassenBackend(MatMulBackend):
@@ -275,7 +324,11 @@ class StrassenBackend(MatMulBackend):
         u, v, w = dims
         if max(dims) > config.max_heavy_dimension:
             return float("inf")
-        return self.python_overhead * cost_model.estimate(u, v, w, cores=config.cores)
+        return self.python_overhead * cost_model.estimate(
+            u, v, w, cores=config.cores
+        ) + cost_model.estimate_extraction(
+            u, w, cores=config.cores, tile_rows=config.extract_tile_rows
+        )
 
 
 class BackendRegistry:

@@ -65,20 +65,39 @@ def sparse_boolean_matmul(
     return product
 
 
+def _record_coo_stats(stats, coo, block) -> None:
+    """Extraction accounting for COO scans (already output-proportional)."""
+    if stats is None:
+        return
+    transient = int(coo.data.nbytes + coo.row.nbytes + coo.col.nbytes)
+    stats.update(
+        extract_mode="sparse",
+        extract_tile_rows=0,
+        extract_tiles_total=1,
+        extract_tiles_skipped=0,
+        memory_extract_peak_bytes=transient,
+        memory_full_scan_bytes=int(coo.shape[0]) * int(coo.shape[1]),
+        memory_output_bytes=block.nbytes,
+    )
+
+
 def sparse_nonzero_block(
     product: sparse.spmatrix,
     row_values: Sequence[int],
     col_values: Sequence[int],
     threshold: float = 0.5,
+    stats=None,
 ) -> PairBlock:
     """Output pairs above ``threshold`` as a columnar :class:`PairBlock`."""
     coo = product.tocoo()
     row_arr = np.asarray(row_values, dtype=np.int64)
     col_arr = np.asarray(col_values, dtype=np.int64)
     keep = coo.data > threshold
-    return PairBlock(
+    block = PairBlock(
         (row_arr[coo.row[keep]], col_arr[coo.col[keep]]), deduped=True
     )
+    _record_coo_stats(stats, coo, block)
+    return block
 
 
 def sparse_nonzero_counted_block(
@@ -86,6 +105,7 @@ def sparse_nonzero_counted_block(
     row_values: Sequence[int],
     col_values: Sequence[int],
     threshold: float = 0.5,
+    stats=None,
 ) -> CountedPairBlock:
     """Like :func:`sparse_nonzero_block` but with exact witness counts."""
     coo = product.tocoo()
@@ -93,9 +113,11 @@ def sparse_nonzero_counted_block(
     col_arr = np.asarray(col_values, dtype=np.int64)
     keep = coo.data > threshold
     counts = np.rint(coo.data[keep]).astype(np.int64)
-    return CountedPairBlock(
+    block = CountedPairBlock(
         (row_arr[coo.row[keep]], col_arr[coo.col[keep]]), counts, deduped=True
     )
+    _record_coo_stats(stats, coo, block)
+    return block
 
 
 def sparse_nonzero_pairs(

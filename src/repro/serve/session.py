@@ -279,6 +279,12 @@ class QuerySession:
         :func:`~repro.core.estimation.detect_heavy_join_keys`).  Lower it
         for workloads whose head-domain bound caps per-key degrees well
         below a fair shard's share.
+    shard_result_cache:
+        When True (default), every shard subquery's merged block is cached
+        in the artifact cache under its slices' shard tokens, so warm
+        sharded serving pays only the cross-shard merge and
+        :meth:`update_shard` recomputes exactly the mutated shard's block.
+        Disable to force every subquery through its per-shard pipeline.
     """
 
     def __init__(
@@ -291,6 +297,7 @@ class QuerySession:
         feedback: bool = True,
         shards: int = 1,
         heavy_key_factor: float = 0.5,
+        shard_result_cache: bool = True,
     ) -> None:
         self.config = config
         if registry is not None:
@@ -321,6 +328,7 @@ class QuerySession:
         # relation registered with sharded=True).
         self.shards = max(int(shards), 1)
         self.heavy_key_factor = float(heavy_key_factor)
+        self.shard_result_cache = bool(shard_result_cache)
         self._sharded_names: Set[str] = set()
         self._sharded: Dict[str, ShardedRelation] = {}
         self._shard_versions: Dict[Tuple[str, int], int] = {}
@@ -660,6 +668,8 @@ class QuerySession:
                     self.context.executor(run_config.cores)
                     if run_config.cores > 1 else None
                 ),
+                context=self.context,
+                result_cache=self.shard_result_cache,
             )
             explanation = sharded.explanation
             # The router lowers similarity/containment to the counting

@@ -19,13 +19,14 @@ routes queries shard-wise, keys cached artifacts by shard tokens, and
 
 from repro.shard.executor import ShardedResult, execute_sharded
 from repro.shard.router import RoutedQuery, ShardRouter, ShardSubquery
-from repro.shard.sharded import ShardedRelation
+from repro.shard.sharded import LazyCombinedRelation, ShardedRelation
 from repro.shard.spec import ShardingSpec
 
 __all__ = [
     "RoutedQuery",
     "ShardRouter",
     "ShardSubquery",
+    "LazyCombinedRelation",
     "ShardedRelation",
     "ShardedResult",
     "ShardingSpec",

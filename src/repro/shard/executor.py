@@ -11,6 +11,23 @@ is the unit of parallelism (it borrows the session's persistent
 inner plans never touch that pool, so the fan-out cannot deadlock the way
 nested ``map`` calls would.
 
+Three output-sensitive escapes sit in front of that pipeline:
+
+* **per-shard result cache** — when a session context is attached, every
+  subquery's merged block is cached under its slices' shard tokens
+  (``("shard", name, i, version)``), so a warm sharded query pays only the
+  cross-shard merge and ``update_shard`` recomputes exactly the mutated
+  shard's block while siblings re-serve theirs;
+* **heavy-shard rank-1 evaluation** — a heavy shard holds a single join
+  key, so its two-path result is exactly the rectangle ``xs x zs`` of the
+  key's neighbourhoods; it is emitted directly (in head-domain sub-blocks)
+  instead of building a ``|xs| x 1 x |zs|`` matrix product;
+* **head-domain sub-block skipping** — under set semantics, a heavy
+  shard's sub-block provably adds no new pairs when its head values and
+  witnesses are covered by an already-emitted rectangle (the saturated
+  dense core case, where every heavy shard spans the full head domain);
+  covered head values are dropped before any pair is materialised.
+
 The cross-shard merge is the same columnar machinery the operators use:
 one concatenation of the per-shard :class:`~repro.data.pairblock.PairBlock`
 results plus a single packed-key ``np.unique`` (with summed witness counts
@@ -26,7 +43,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,9 +51,18 @@ from repro.core.config import MMJoinConfig
 from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.plan.explain import OperatorReport, PlanExplanation
 from repro.plan.planner import Planner, PhysicalPlan
+from repro.plan.query import TwoPathQuery
 from repro.shard.router import RoutedQuery, ShardSubquery
 
 PlannerFactory = Callable[[MMJoinConfig], Planner]
+
+# Pairs materialised per heavy-shard head sub-block; bounds the size of one
+# emission (and is the granularity of the containment skip accounting).
+SUB_BLOCK_PAIRS = 1 << 18
+
+# A heavy shard's full rectangle: the sorted distinct head values on each
+# side of its single join key.
+Rectangle = Tuple[np.ndarray, np.ndarray]
 
 
 @dataclass
@@ -47,6 +73,16 @@ class ShardedResult:
     result_counted: Optional[CountedPairBlock]
     explanation: PlanExplanation
     shard_explanations: List[PlanExplanation] = field(default_factory=list)
+
+
+@dataclass
+class _ShardOutcome:
+    """One subquery's blocks + explanation (from cache, rank-1 or planner)."""
+
+    block: Optional[PairBlock]
+    counted: Optional[CountedPairBlock]
+    explanation: PlanExplanation
+    rect: Optional[Rectangle] = None  # full heavy rectangle present in output
 
 
 def _concat_counted(blocks: List[CountedPairBlock], arity: int) -> CountedPairBlock:
@@ -71,11 +107,254 @@ def _cache_counts(explanation: PlanExplanation) -> Dict[str, int]:
     return {"cache_hits": hits, "cache_misses": misses}
 
 
+# --------------------------------------------------------------------------- #
+# Per-shard result cache
+# --------------------------------------------------------------------------- #
+def _result_key(context: Any, sub: ShardSubquery, counting: bool,
+                config: MMJoinConfig) -> Optional[Any]:
+    """Cache key of one subquery's merged block, or ``None`` when unkeyable."""
+    if context is None:
+        return None
+    return context.key(
+        "shard_result", sub.query.join_relations(), sub.query.kind,
+        counting, config.cache_signature(),
+    )
+
+
+def _outcome_nbytes(outcome: _ShardOutcome) -> int:
+    total = 0
+    if outcome.block is not None:
+        total += outcome.block.nbytes
+    if outcome.counted is not None:
+        total += outcome.counted.nbytes
+    return total
+
+
+def _merged_key(keys: List[Optional[Any]]) -> Optional[Any]:
+    """Key of the whole routed query's merged block.
+
+    The per-shard keys embed every slice's ``("shard", name, i, version)``
+    token, so the tuple invalidates exactly when any shard of any input
+    mutates — warm sharded serving skips the per-shard fan-out *and* the
+    cross-shard merge, which is what makes it approach memo speed.
+    """
+    if not keys or any(key is None for key in keys):
+        return None
+    return ("shard_merged", tuple(keys))
+
+
+def _merged_cached_result(routed: RoutedQuery, value: Any,
+                          seconds: float) -> ShardedResult:
+    """Rebuild a full sharded result from a merged-cache entry."""
+    merged_block, merged_counted, backend, stored_reports = value
+    shard_reports = [
+        {**row, "seconds": 0.0, "result_cached": True,
+         "cache_hits": 1, "cache_misses": 0}
+        for row in stored_reports
+    ]
+    explanation = PlanExplanation(
+        query_kind=routed.query.kind,
+        strategy="sharded",
+        backend=backend,
+        delta1=0,
+        delta2=0,
+        operators=[OperatorReport(
+            operator="shard_merged_cache",
+            status="ran",
+            actual_seconds=seconds,
+            detail={"cache": "hit", "shards_merged": len(stored_reports),
+                    "output_size": len(merged_block)},
+        )],
+        total_seconds=seconds,
+        output_size=len(merged_block),
+        session_stats={
+            "shards_planned": routed.num_shards,
+            "shards_executed": len(routed.subqueries),
+            "shards_skipped_empty": routed.skipped_empty,
+            "shard_results_cached": len(stored_reports),
+            "merged_result_cached": True,
+            "operator_cache_hits": 1,
+            "operator_cache_misses": 0,
+        },
+        shard_reports=shard_reports,
+    )
+    return ShardedResult(
+        result_block=merged_block,
+        result_counted=merged_counted,
+        explanation=explanation,
+        shard_explanations=[],
+    )
+
+
+def _cached_outcome(sub: ShardSubquery, value: Any, seconds: float) -> _ShardOutcome:
+    """Rebuild an outcome from a result-cache entry (counts as one hit)."""
+    block, counted, meta = value
+    output_size = len(block) if block is not None else 0
+    explanation = PlanExplanation(
+        query_kind=sub.query.kind,
+        strategy=str(meta.get("strategy", "cached")),
+        backend=str(meta.get("backend", "-")),
+        delta1=0,
+        delta2=0,
+        operators=[OperatorReport(
+            operator="shard_result_cache",
+            status="ran",
+            actual_seconds=seconds,
+            detail={"cache": "hit", "output_size": output_size},
+        )],
+        total_seconds=seconds,
+        output_size=output_size,
+        shard=sub.shard,
+    )
+    return _ShardOutcome(block=block, counted=counted, explanation=explanation,
+                         rect=meta.get("rect"))
+
+
+# --------------------------------------------------------------------------- #
+# Heavy-shard rank-1 evaluation with head-domain sub-blocking
+# --------------------------------------------------------------------------- #
+def _heavy_rectangle(sub: ShardSubquery) -> Optional[Rectangle]:
+    """The shard's output rectangle when it is a single-witness two-path.
+
+    A heavy shard holds exactly one join key by construction; the guard
+    re-checks that on the actual slices so a malformed layout falls back to
+    the full planner pipeline instead of producing wrong output.
+    """
+    if not isinstance(sub.query, TwoPathQuery):
+        return None
+    left, right = sub.query.join_relations()
+    left_keys = left.y_values()
+    right_keys = right.y_values()
+    if left_keys.size != 1 or right_keys.size != 1:
+        return None
+    if int(left_keys[0]) != int(right_keys[0]):
+        return None
+    return left.x_values(), right.x_values()
+
+
+def _is_subset(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether sorted distinct ``a`` is contained in sorted distinct ``b``."""
+    if a.size == 0:
+        return True
+    if a.size > b.size:
+        return False
+    return bool(np.isin(a, b, assume_unique=True).all())
+
+
+def _emit_heavy(
+    rect: Rectangle,
+    counting: bool,
+    emitted_rects: List[Rectangle],
+    detail: Dict[str, Any],
+    sub_block_pairs: int = SUB_BLOCK_PAIRS,
+) -> Tuple[PairBlock, Optional[CountedPairBlock], bool]:
+    """Materialise a heavy shard's rectangle in head-domain sub-blocks.
+
+    Under set semantics, a head value ``x`` adds no new pairs when some
+    already-emitted rectangle ``(X, Z)`` covers it (``x in X``) together
+    with this shard's whole witness-neighbourhood ``zs`` (``zs subset Z``)
+    — its sub-block row is skipped before any pair is materialised.  Under
+    counting semantics nothing is skipped (every shard's witness adds 1 to
+    each pair's count) and the full rectangle is emitted.
+
+    Returns ``(block, counted, full)`` where ``full`` says the emission
+    covered the entire rectangle (only full emissions are cacheable: a
+    reduced emission depends on sibling shards' rectangles).
+    """
+    xs, zs = rect
+    covered: List[np.ndarray] = []
+    if not counting:
+        covered = [X for X, Z in emitted_rects if _is_subset(zs, Z)]
+    rows_per_block = max(1, int(sub_block_pairs) // max(int(zs.size), 1))
+    parts_x: List[np.ndarray] = []
+    parts_z: List[np.ndarray] = []
+    blocks_total = 0
+    blocks_skipped = 0
+    emitted_head = 0
+    for lo in range(0, int(xs.size), rows_per_block):
+        chunk = xs[lo: lo + rows_per_block]
+        blocks_total += 1
+        for X in covered:
+            chunk = chunk[~np.isin(chunk, X, assume_unique=True)]
+            if chunk.size == 0:
+                break
+        if chunk.size == 0:
+            blocks_skipped += 1
+            continue
+        emitted_head += int(chunk.size)
+        parts_x.append(np.repeat(chunk, zs.size))
+        parts_z.append(np.tile(zs, chunk.size))
+    if parts_x:
+        x_col = np.concatenate(parts_x)
+        z_col = np.concatenate(parts_z)
+        block = PairBlock((x_col, z_col), deduped=True)
+    else:
+        block = PairBlock.empty(2)
+    counted = None
+    if counting:
+        # One shard holds one witness, so every emitted pair has count 1.
+        counted = CountedPairBlock(
+            block.columns, np.ones(len(block), dtype=np.int64), deduped=True
+        )
+    detail.update({
+        "head_values": int(xs.size),
+        "head_values_emitted": emitted_head,
+        "head_values_skipped": int(xs.size) - emitted_head,
+        "witness_partners": int(zs.size),
+        "sub_blocks_total": blocks_total,
+        "sub_blocks_skipped": blocks_skipped,
+    })
+    return block, counted, emitted_head == int(xs.size)
+
+
+def _heavy_outcome(sub: ShardSubquery, counting: bool,
+                   emitted_rects: List[Rectangle],
+                   rect: Rectangle) -> Tuple[_ShardOutcome, bool]:
+    """Evaluate one heavy shard directly; returns (outcome, cacheable)."""
+    start = time.perf_counter()
+    detail: Dict[str, Any] = {}
+    block, counted, full = _emit_heavy(rect, counting, emitted_rects, detail)
+    seconds = time.perf_counter() - start
+    skipped_whole = len(block) == 0 and int(rect[0].size) > 0
+    explanation = PlanExplanation(
+        query_kind=sub.query.kind,
+        strategy="heavy_skipped" if skipped_whole else "heavy_direct",
+        backend="rank1",
+        delta1=0,
+        delta2=0,
+        operators=[OperatorReport(
+            operator="heavy_shard_rectangle",
+            status="ran",
+            actual_seconds=seconds,
+            detail=detail,
+        )],
+        total_seconds=seconds,
+        output_size=len(block),
+        shard=sub.shard,
+    )
+    outcome = _ShardOutcome(
+        block=block,
+        counted=counted,
+        explanation=explanation,
+        # Register the *full* rectangle even after a reduced emission:
+        # skipped head values were dropped precisely because earlier
+        # registered rectangles already cover them, so the union of emitted
+        # blocks still contains all of it.
+        rect=rect,
+    )
+    return outcome, full
+
+
+# --------------------------------------------------------------------------- #
+# Sharded execution
+# --------------------------------------------------------------------------- #
 def execute_sharded(
     routed: RoutedQuery,
     planner_for: PlannerFactory,
     config: MMJoinConfig,
     executor: Optional[Any] = None,
+    context: Optional[Any] = None,
+    result_cache: bool = True,
 ) -> ShardedResult:
     """Run every shard subquery and merge the results.
 
@@ -88,47 +367,151 @@ def execute_sharded(
         :class:`~repro.parallel.executor.ParallelExecutor`) used to fan the
         shard subplans out when ``config.cores > 1``; ``None`` or one
         subquery runs serially.
+    context:
+        The session's :class:`~repro.serve.session.SessionContext` (or
+        ``None`` outside a session); holds the artifact cache the per-shard
+        result cache lives in.
+    result_cache:
+        Disable to serve nothing from the per-shard / merged result caches
+        (every subquery re-evaluates; the micro benchmark uses this as its
+        baseline).  The heavy-shard rank-1 path stays on either way — it is
+        an evaluation strategy, not a cache.
     """
     start = time.perf_counter()
     shard_config = config.with_cores(1) if config.cores > 1 else config
+    counting = routed.counting
+    subqueries = routed.subqueries
+    outcomes: List[Optional[_ShardOutcome]] = [None] * len(subqueries)
+    cache_ctx = context if result_cache else None
 
+    # ---- merged-result cache: a fully-warm query skips even the merge ---- #
+    shard_keys = [_result_key(cache_ctx, sub, counting, shard_config)
+                  for sub in subqueries]
+    merged_key = _merged_key(shard_keys) if cache_ctx is not None else None
+    if merged_key is not None:
+        found, value = cache_ctx.artifacts.lookup(merged_key)
+        if found:
+            return _merged_cached_result(
+                routed, value, time.perf_counter() - start
+            )
+
+    # ---- per-shard result cache: serve warm shards outright -------------- #
+    misses: List[Tuple[int, Any]] = []
+    for i, sub in enumerate(subqueries):
+        key = shard_keys[i]
+        if key is not None:
+            lookup_start = time.perf_counter()
+            found, value = cache_ctx.artifacts.lookup(key)
+            if found:
+                outcomes[i] = _cached_outcome(
+                    sub, value, time.perf_counter() - lookup_start
+                )
+                continue
+        misses.append((i, key))
+
+    # ---- heavy rank-1 shards: direct rectangle evaluation ---------------- #
+    planner_misses: List[Tuple[int, Any]] = []
+    heavy_misses: List[Tuple[int, Any, Rectangle]] = []
+    for i, key in misses:
+        sub = subqueries[i]
+        rect = _heavy_rectangle(sub) if sub.kind == "heavy" else None
+        if rect is not None:
+            heavy_misses.append((i, key, rect))
+        else:
+            planner_misses.append((i, key))
+
+    # Rectangles already present in the output (warm heavy shards) seed the
+    # containment skip; fresh rectangles are processed largest-first so a
+    # saturated dense core collapses onto a single emission.
+    emitted_rects: List[Rectangle] = [
+        outcome.rect for outcome in outcomes
+        if outcome is not None and outcome.rect is not None
+    ]
+    heavy_misses.sort(key=lambda item: -(int(item[2][0].size) * int(item[2][1].size)))
+    for i, key, rect in heavy_misses:
+        sub = subqueries[i]
+        outcome, full = _heavy_outcome(sub, counting, emitted_rects, rect)
+        if outcome.rect is not None:
+            emitted_rects.append(outcome.rect)
+        if key is not None and full:
+            # Only a full emission is a pure function of this shard's slices
+            # (a reduced one depends on sibling rectangles) — cache it.
+            meta = {
+                "strategy": outcome.explanation.strategy,
+                "backend": outcome.explanation.backend,
+                "rect": rect,
+            }
+            cache_ctx.artifacts.put(
+                key, (outcome.block, outcome.counted, meta),
+                _outcome_nbytes(outcome),
+            )
+        outcomes[i] = outcome
+
+    # ---- everything else: the ordinary per-shard planner pipeline -------- #
     def run_one(sub: ShardSubquery) -> PhysicalPlan:
         plan = planner_for(shard_config).create_plan(sub.query, shard=sub.shard)
         plan.execute()
         return plan
 
-    subqueries = routed.subqueries
-    if executor is not None and config.cores > 1 and len(subqueries) > 1:
-        plans = executor.map(run_one, subqueries)
+    pending = [subqueries[i] for i, _ in planner_misses]
+    if executor is not None and config.cores > 1 and len(pending) > 1:
+        plans = executor.map(run_one, pending)
     else:
-        plans = [run_one(sub) for sub in subqueries]
+        plans = [run_one(sub) for sub in pending]
+    for (i, key), plan in zip(planner_misses, plans):
+        state = plan.state
+        outcome = _ShardOutcome(
+            block=state.result_block if state is not None else None,
+            counted=state.result_counted if state is not None else None,
+            explanation=plan.explain(),
+        )
+        if key is not None:
+            meta = {
+                "strategy": outcome.explanation.strategy,
+                "backend": outcome.explanation.backend,
+            }
+            cache_ctx.artifacts.put(
+                key, (outcome.block, outcome.counted, meta),
+                _outcome_nbytes(outcome),
+            )
+        outcomes[i] = outcome
+
+    assert all(outcome is not None for outcome in outcomes)
 
     # ---- cross-shard merge (one concat + one packed-key unique) ---------- #
     merge_start = time.perf_counter()
     arity = routed.arity
-    states = [plan.state for plan in plans]
-    if routed.counting:
+    if counting:
         counted_blocks = [
-            state.result_counted for state in states
-            if state is not None and state.result_counted is not None
+            outcome.counted for outcome in outcomes
+            if outcome.counted is not None
         ]
         merged_counted = _concat_counted(counted_blocks, arity).dedup(reduce="sum")
         merged_block = merged_counted.pairs_block()
     else:
         blocks = [
-            state.result_block for state in states
-            if state is not None and state.result_block is not None
+            outcome.block for outcome in outcomes
+            if outcome.block is not None
         ]
         merged_counted = None
         merged_block = PairBlock.concat_all(blocks, arity=arity).dedup()
     merge_seconds = time.perf_counter() - merge_start
 
-    shard_explanations = [plan.explain() for plan in plans]
+    shard_explanations = [outcome.explanation for outcome in outcomes]
     explanation = _rollup(
         routed, config, shard_explanations, merged_block,
         merge_seconds=merge_seconds,
         total_seconds=time.perf_counter() - start,
     )
+    if merged_key is not None:
+        cache_ctx.artifacts.put(
+            merged_key,
+            (merged_block, merged_counted, explanation.backend,
+             [dict(row) for row in explanation.shard_reports]),
+            merged_block.nbytes + (
+                merged_counted.nbytes if merged_counted is not None else 0
+            ),
+        )
     return ShardedResult(
         result_block=merged_block,
         result_counted=merged_counted,
@@ -161,9 +544,20 @@ def _rollup(
             if op.status == "ran":
                 agg.status = "ran"
                 agg.detail["shards_ran"] = agg.detail.get("shards_ran", 0) + 1
-            for key in ("memory_in_bytes", "memory_out_bytes"):
+            for key in ("memory_in_bytes", "memory_out_bytes",
+                        "memory_full_scan_bytes",
+                        "sub_blocks_total", "sub_blocks_skipped",
+                        "head_values_skipped"):
                 if key in op.detail:
                     agg.detail[key] = agg.detail.get(key, 0) + int(op.detail[key])
+            # A peak aggregates with max, not sum: shard subplans run one at
+            # a time per worker, so the largest shard's transient is the
+            # plan-level peak.
+            if "memory_extract_peak_bytes" in op.detail:
+                agg.detail["memory_extract_peak_bytes"] = max(
+                    agg.detail.get("memory_extract_peak_bytes", 0),
+                    int(op.detail["memory_extract_peak_bytes"]),
+                )
             cache = op.detail.get("cache")
             if cache in ("hit", "miss"):
                 counter = f"cache_{cache}es" if cache == "miss" else "cache_hits"
@@ -183,9 +577,12 @@ def _rollup(
         if any(op.operator == "matmul_heavy" and op.status == "ran"
                for op in sub_exp.operators)
     })
+    result_cache_hits = 0
     shard_reports: List[Dict[str, Any]] = []
     for sub, sub_exp in zip(routed.subqueries, shard_explanations):
         counts = _cache_counts(sub_exp)
+        cached = any(op.operator == "shard_result_cache" for op in sub_exp.operators)
+        result_cache_hits += int(cached)
         shard_reports.append({
             "shard": sub.shard,
             "kind": sub.kind,
@@ -194,6 +591,7 @@ def _rollup(
             "backend": sub_exp.backend,
             "output_size": sub_exp.output_size,
             "seconds": sub_exp.total_seconds,
+            "result_cached": cached,
             **counts,
         })
 
@@ -212,6 +610,7 @@ def _rollup(
             "shards_planned": routed.num_shards,
             "shards_executed": len(routed.subqueries),
             "shards_skipped_empty": routed.skipped_empty,
+            "shard_results_cached": result_cache_hits,
             "operator_cache_hits": sum(
                 _cache_counts(e)["cache_hits"] for e in shard_explanations
             ),

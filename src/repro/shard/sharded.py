@@ -14,8 +14,11 @@ counting two-path queries over it.
 
 ``combined()`` re-materialises the full relation (needed by unsharded
 fallback paths, statistics and the catalog) with a packed-key merge of the
-already-sorted shard slices; it is cached and only rebuilt after
-:meth:`replace_shard`.
+already-sorted shard slices.  After a mutation it returns a **lazy view**
+(:class:`LazyCombinedRelation`): the merge is deferred until something
+actually reads the combined data, so the ``update_shard`` mutation path —
+which only needs a catalog handle for the new version — no longer pays the
+packed-key merge eagerly.
 """
 
 from __future__ import annotations
@@ -40,6 +43,53 @@ def _sorted_rows(data: np.ndarray) -> np.ndarray:
     else:
         order = np.lexsort((data[:, 1], data[:, 0]))
     return data[order]
+
+
+class LazyCombinedRelation(Relation):
+    """A :class:`Relation` whose data merges from shard slices on demand.
+
+    Construction snapshots the (immutable) per-shard data arrays and defers
+    the packed-key merge until the first access to any data-dependent
+    attribute.  ``Relation`` stores everything in ``__slots__``, so an
+    unset slot raises ``AttributeError`` and lands in ``__getattr__`` —
+    which materialises once via ``Relation.__init__`` and then resolves
+    normally.  Until then the view costs one list of array references.
+    """
+
+    __slots__ = ("_sources",)
+
+    def __init__(self, sources: List[np.ndarray], name: str) -> None:
+        self._sources = sources
+        self.name = name
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the merge has run (no data access has happened yet)."""
+        try:
+            object.__getattribute__(self, "_data")
+            return True
+        except AttributeError:
+            return False
+
+    def _materialize(self) -> None:
+        sources = self._sources
+        if sources:
+            merged = _sorted_rows(np.concatenate(sources))
+        else:
+            merged = np.empty((0, 2), dtype=np.int64)
+        # Relation.__init__ fills every slot (data + the lazy layout
+        # caches), so subsequent attribute access never lands here again.
+        Relation.__init__(self, merged, name=self.name, sorted_dedup=True)
+
+    def __getattr__(self, attr: str):
+        # Only reached for slots Relation.__init__ would have set; anything
+        # else is a genuine miss.
+        if attr in Relation.__slots__:
+            self._materialize()
+            return getattr(self, attr)
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {attr!r}"
+        )
 
 
 class ShardedRelation:
@@ -141,13 +191,14 @@ class ShardedRelation:
 
         Shards partition the key space, so the union has no cross-shard
         duplicates; the merge is a single packed-key sort of the
-        concatenated (already sorted) slices.
+        concatenated (already sorted) slices — deferred behind a
+        :class:`LazyCombinedRelation`, so calling this on the mutation path
+        costs nothing until someone actually reads the combined data.  The
+        view snapshots the current slices' arrays: a later
+        :meth:`replace_shard` produces a fresh view and leaves an
+        already-handed-out one describing the pre-mutation state.
         """
         if self._combined is None:
             datas = [s.data for s in self._shards if len(s)]
-            if not datas:
-                self._combined = Relation.empty(self.name)
-            else:
-                merged = _sorted_rows(np.concatenate(datas))
-                self._combined = Relation(merged, name=self.name, sorted_dedup=True)
+            self._combined = LazyCombinedRelation(datas, name=self.name)
         return self._combined

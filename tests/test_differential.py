@@ -109,6 +109,49 @@ class TestBackendParallelGrid:
 
 
 # --------------------------------------------------------------------------- #
+# Tiled-extraction axis: every tile size must be invisible in the output
+# --------------------------------------------------------------------------- #
+# 0 forces the one-shot full scan, 1 and 7 exercise tiny/odd bands, the huge
+# value collapses to a single band covering the whole product.
+TILE_AXIS = (0, 1, 7, 10**6)
+
+
+@pytest.mark.parametrize("tile_rows", TILE_AXIS)
+class TestTiledExtractionAgrees:
+    def _config(self, tile_rows: int, **kwargs) -> MMJoinConfig:
+        return MMJoinConfig(delta1=1, delta2=1, matrix_backend="dense",
+                            extract_tile_rows=tile_rows, **kwargs)
+
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_pairs_and_counts_identical(self, tile_rows, pair):
+        left, right = pair
+        config = self._config(tile_rows)
+        assert two_path_join(left, right, config=config).pairs == \
+            combinatorial_two_path(left, right)
+        assert two_path_join_counts(left, right, config=config).counts == \
+            hash_join_project_counts(left, right)
+
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    @given(rels=relation_lists(max_size=50))
+    def test_star_identical(self, tile_rows, rels):
+        engine = make_engine("mmjoin", config=self._config(tile_rows))
+        assert engine.star(rels) == combinatorial_star(rels)
+
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    @given(rows=skewed_pair_lists(max_size=100))
+    def test_sharded_with_tiling(self, tile_rows, rows):
+        skewed = Relation.from_pairs(rows, name="L")
+        expected = combinatorial_two_path(skewed, skewed)
+        with QuerySession(config=self._config(tile_rows), shards=3) as session:
+            session.register(skewed, name="L", sharded=True)
+            cold = session.two_path("L", "L", use_memo=False)
+            warm = session.two_path("L", "L", use_memo=False)
+        assert cold.pairs == expected
+        assert warm.pairs == expected
+
+
+# --------------------------------------------------------------------------- #
 # Session-cached vs cold paths
 # --------------------------------------------------------------------------- #
 class TestSessionAgreesWithCold:

@@ -65,7 +65,16 @@ class TestShardedServing:
             session.two_path("R", "S", use_memo=False)
             warm = session.two_path("R", "S", use_memo=False)
         assert warm.explanation.session_stats["operator_cache_misses"] == 0
-        assert all(row["cache_misses"] == 0 and row["cache_hits"] > 0
+        # Every shard either re-serves its cached result block or is a
+        # rank-1 heavy shard: those re-emit output-sensitively (a partially
+        # containment-reduced emission depends on sibling rectangles, so it
+        # is deliberately never cached) or prove emptiness outright.
+        assert all(
+            row["result_cached"] or row["strategy"] in ("heavy_direct",
+                                                        "heavy_skipped")
+            for row in warm.explanation.shard_reports
+        )
+        assert all(row["cache_misses"] == 0
                    for row in warm.explanation.shard_reports)
 
     def test_heavy_keys_isolated_into_dedicated_shards(self, sharded_inputs):
@@ -104,7 +113,10 @@ class TestShardScopedInvalidation:
             for shard, row in rows.items():
                 if shard != target:
                     assert row["cache_misses"] == 0, (shard, row)
-                    assert row["cache_hits"] > 0, (shard, row)
+                    # Siblings re-serve their cached result block, or are
+                    # rank-1 heavy shards re-emitting output-sensitively.
+                    assert row["result_cached"] or row["strategy"] in (
+                        "heavy_direct", "heavy_skipped"), (shard, row)
             # the served result reflects the mutation exactly
             assert result.pairs == combinatorial_two_path(
                 session.relation("R"), right
