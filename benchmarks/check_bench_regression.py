@@ -1,0 +1,169 @@
+"""CI gate: fail when a recorded benchmark speedup regresses > 20%.
+
+``BENCH_micro.json`` is the committed ledger of headline microbenchmark
+metrics (one entry per benchmark, written by each runner's ``main()``).
+This script diffs the working-tree ledger against the previous committed
+version and exits non-zero when any ``*_speedup`` metric dropped below
+``threshold`` (default 0.8) times its baseline value — a PR that silently
+gives back more than 20% of a recorded win fails CI.
+
+Baseline resolution is git-based and deliberately forgiving:
+
+* default ref is ``HEAD`` when the working-tree ledger differs from the
+  committed one (the PR re-recorded numbers; compare against what it
+  changed), else ``HEAD~1`` (ledger untouched; compare against the
+  previous commit) — override with ``--baseline-ref``;
+* when the baseline cannot be resolved at all (first commit, shallow
+  clone without the parent, file not yet committed) the gate prints a
+  notice and exits 0: absence of history is not a regression.
+
+Only metrics ending in ``_speedup`` and present in *both* versions are
+compared (new benchmarks and new metrics pass by construction), and
+entries recorded in quick mode (``quick_mode: true``, the CI smoke
+configuration) are skipped on either side — quick-mode timings are not
+acceptance-grade.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py [--baseline-ref REF]
+        [--threshold 0.8] [--results PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_micro.json"
+DEFAULT_THRESHOLD = 0.8
+
+
+def _git(*args: str) -> Optional[str]:
+    """Run git in the repo root; ``None`` on any failure (no git, no ref)."""
+    try:
+        proc = subprocess.run(
+            ["git", *args], cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def _relative_results_path(results: Path) -> str:
+    """Repo-relative ledger path for ``git show``/``git diff``.
+
+    A results file outside the repo (a doctored copy under test) still
+    compares against the committed canonical ledger.
+    """
+    try:
+        return results.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return RESULTS_PATH.relative_to(REPO_ROOT).as_posix()
+
+
+def resolve_baseline_ref(results: Path = RESULTS_PATH) -> str:
+    """``HEAD`` when the working-tree ledger is dirty, else ``HEAD~1``."""
+    rel = _relative_results_path(results)
+    diff = _git("diff", "--quiet", "HEAD", "--", rel)
+    # ``git diff --quiet`` exits 1 on differences, which _git maps to None.
+    return "HEAD" if diff is None else "HEAD~1"
+
+
+def load_baseline(ref: str, results: Path = RESULTS_PATH) -> Optional[Dict]:
+    """The ledger as committed at ``ref``; ``None`` when unavailable."""
+    shown = _git("show", f"{ref}:{_relative_results_path(results)}")
+    if shown is None:
+        return None
+    try:
+        return json.loads(shown)
+    except json.JSONDecodeError:
+        return None
+
+
+def speedup_regressions(
+    current: Dict,
+    baseline: Dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[str], List[str]]:
+    """Compare two ledgers; returns ``(report_lines, regression_lines)``.
+
+    Both arguments are full ``BENCH_micro.json`` documents: benchmark name
+    -> ``{"metrics": {...}, ...}``.
+    """
+    report: List[str] = []
+    regressions: List[str] = []
+    for name in sorted(set(current) & set(baseline)):
+        cur_metrics = dict(current[name].get("metrics", {}))
+        base_metrics = dict(baseline[name].get("metrics", {}))
+        if cur_metrics.get("quick_mode") or base_metrics.get("quick_mode"):
+            report.append(f"{name}: skipped (quick-mode entry)")
+            continue
+        for key in sorted(set(cur_metrics) & set(base_metrics)):
+            if not key.endswith("_speedup"):
+                continue
+            try:
+                new = float(cur_metrics[key])
+                old = float(base_metrics[key])
+            except (TypeError, ValueError):
+                continue
+            if old <= 0:
+                continue
+            ratio = new / old
+            line = f"{name}.{key}: {old:g} -> {new:g} ({ratio:.2f}x)"
+            if ratio < threshold:
+                regressions.append(line)
+                report.append(line + "  << REGRESSION")
+            else:
+                report.append(line)
+    return report, regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a recorded *_speedup metric regresses.")
+    parser.add_argument("--baseline-ref", default=None,
+                        help="git ref holding the baseline ledger "
+                             "(default: HEAD when the ledger is dirty, "
+                             "else HEAD~1)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="minimum allowed new/old ratio "
+                             f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--results", type=Path, default=RESULTS_PATH,
+                        help="path to BENCH_micro.json")
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(f"bench gate: {args.results} not found; nothing to check")
+        return 0
+    current = json.loads(args.results.read_text(encoding="utf-8"))
+
+    ref = args.baseline_ref or resolve_baseline_ref(args.results)
+    baseline = load_baseline(ref, args.results)
+    if baseline is None:
+        print(f"bench gate: no baseline ledger at {ref} "
+              "(first commit or shallow clone); passing")
+        return 0
+
+    report, regressions = speedup_regressions(current, baseline,
+                                              args.threshold)
+    print(f"bench gate: baseline {ref}, threshold {args.threshold:g}")
+    for line in report:
+        print("  " + line)
+    if regressions:
+        print(f"bench gate: {len(regressions)} regression(s) past "
+              f"{args.threshold:g}x of baseline", file=sys.stderr)
+        return 1
+    print("bench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

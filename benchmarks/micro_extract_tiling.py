@@ -2,14 +2,17 @@
 
 Two perf claims of the density-aware extraction layer are quantified here:
 
-* **Tiled non-zero extraction** (``repro.matmul.tiling``): the one-shot
-  ``np.nonzero(product > t)`` scan materialises an ``O(|x| * |z|)`` boolean
-  temporary regardless of the output size; the tiled scan screens each row
-  band with one ``max`` reduction, skips all-zero bands and bounds its
-  transient memory by ``O(tile + output)``.  The sweep times both scans on
-  products of the same shape at three output densities — clustered-sparse,
-  scattered-sparse and a saturated dense core — and records the peak
-  transient bytes next to the wall-clock.
+* **Adaptive non-zero extraction** (``repro.matmul.tiling`` /
+  ``repro.matmul.mapping``): the one-shot ``np.nonzero(product > t)`` scan
+  materialises an ``O(|x| * |z|)`` boolean temporary regardless of the
+  output size; the tiled scan screens each row band with one ``max``
+  reduction, skips all-zero bands and bounds its transient memory by
+  ``O(tile + output)``.  The sweep times both scans on products of the same
+  shape across output densities — clustered-sparse, scattered-sparse, a
+  saturated dense core (merged-rectangle emission), a dense-but-noisy
+  product (adaptive bail-out) and a scrambled hidden core extracted through
+  the DIM3 degree-sorted mapping — and records the mode each scan settled
+  on plus the peak transient bytes next to the wall-clock.
 * **Per-shard result cache** (``repro.shard.executor``): warm sharded
   serving used to re-run every shard's pipeline (PR 4's baseline); with the
   result cache each shard's merged block re-serves from the artifact cache
@@ -23,11 +26,24 @@ Two perf claims of the density-aware extraction layer are quantified here:
   here.
 
 The acceptance bars (``test_micro_extract_tiling.py``) gate a >= 2x tiled
-extraction speedup on the sparse-output workloads, O(tile + output) peak
-extraction memory (asserted via the ``memory_*_bytes`` explain fields of a
-real plan), and a >= 3x warm re-query speedup from the result cache.
-``main()`` records both tables under ``benchmarks/results/`` plus the
-machine-readable ``BENCH_micro.json`` entry.
+extraction speedup on the sparse-output workloads, a >= 0.95x bar on the
+dense workloads (the adaptive modes must not regress them), O(tile +
+output) peak extraction memory (asserted via the ``memory_*_bytes`` explain
+fields of a real plan), and a >= 3x warm re-query speedup from the result
+cache.  ``main()`` records both tables under ``benchmarks/results/`` plus
+the machine-readable ``BENCH_micro.json`` entry.
+
+A measurement note on ``update_requery_speedup`` (~1.4x here) versus
+``micro_shard_scaling``'s ``requery_speedup_vs_cold`` (~6x): the two gauge
+different baselines, not contradictory results.  This benchmark compares
+post-update re-query between two *warm sharded* sessions that differ only
+in the per-shard result cache flag — both keep every other artifact cache
+(adjacency matrices, degree indexes, the partition itself) warm, so the
+result cache's marginal win over an already-warm sibling is modest.
+``micro_shard_scaling`` instead divides by a *cold unsharded* session that
+rebuilds everything from scratch, which credits the whole warm serving
+stack — sharding, artifact reuse and the result cache together — with the
+speedup.  Keep the denominators in mind before comparing the two numbers.
 
 Set ``REPRO_BENCH_QUICK=1`` for the CI smoke mode (smaller product and
 workload, no acceptance-grade timings).
@@ -51,6 +67,7 @@ if str(_SRC) not in sys.path:  # script usage: python benchmarks/micro_extract_t
 from repro.bench.runner import speedup
 from repro.core.config import MMJoinConfig
 from repro.data import generators
+from repro.matmul import mapping as core_mapping
 from repro.matmul import tiling
 from repro.serve import QuerySession
 
@@ -81,7 +98,7 @@ def _best_of(fn: Callable[[], object], repeats: int = 5) -> float:
 
 
 def product_workloads(side: int = PRODUCT_SIDE) -> Dict[str, np.ndarray]:
-    """Same-shape products at three output densities."""
+    """Same-shape products across output densities."""
     rng = np.random.default_rng(11)
     clustered = np.zeros((side, side), dtype=np.float32)
     hot_rows = rng.choice(side, size=max(side // 100, 4), replace=False)
@@ -92,11 +109,40 @@ def product_workloads(side: int = PRODUCT_SIDE) -> Dict[str, np.ndarray]:
     scattered[rng.integers(0, side, n_scatter),
               rng.integers(0, side, n_scatter)] = 2.0
     dense_core = np.ones((side, side), dtype=np.float32)
+    # Dense but not saturated: ~80% of cells clear the threshold, so the
+    # min-screen never fires and the auto policy must bail out to win.
+    dense_noisy = (rng.random((side, side)) < 0.8).astype(np.float32)
     return {
         "sparse_clustered": clustered,
         "sparse_scattered": scattered,
         "dense_core": dense_core,
+        "dense_noisy": dense_noisy,
     }
+
+
+def hidden_core_workload(side: int = PRODUCT_SIDE):
+    """A saturated core scattered across the domains, plus sparse noise.
+
+    Returns ``(product, mapping)``: a quarter of the rows/columns are "hot"
+    at random positions and their intersection is saturated; the DIM3
+    mapping (built from the hot/cold degree split, as the heavy relations'
+    degree indexes would supply it) permutes them into the top-left core.
+    """
+    rng = np.random.default_rng(7)
+    n_hot = max(side // 4, 1)
+    hot_rows = rng.choice(side, size=n_hot, replace=False)
+    hot_cols = rng.choice(side, size=n_hot, replace=False)
+    product = np.zeros((side, side), dtype=np.float32)
+    product[np.ix_(hot_rows, hot_cols)] = 1.0
+    n_scatter = max(int(side * side * 1e-4), 8)
+    product[rng.integers(0, side, n_scatter),
+            rng.integers(0, side, n_scatter)] = 2.0
+    row_deg = np.ones(side)
+    col_deg = np.ones(side)
+    row_deg[hot_rows] = 50
+    col_deg[hot_cols] = 50
+    mapping = core_mapping.mapping_from_degrees(row_deg, col_deg, inner_dim=100)
+    return product, mapping
 
 
 def run_extract_rows(repeats: int = 5) -> List[Dict[str, object]]:
@@ -127,13 +173,52 @@ def run_extract_rows(repeats: int = 5) -> List[Dict[str, object]]:
             "full_ms": round(full_seconds * 1e3, 3),
             "tiled_ms": round(tiled_seconds * 1e3, 3),
             "speedup": round(speedup(full_seconds, tiled_seconds), 2),
+            "mode": tiled_stats["extract_mode"],
             "tile_rows": tiled_stats["extract_tile_rows"],
             "tiles_skipped": tiled_stats["extract_tiles_skipped"],
             "full_peak_bytes": full_stats["memory_extract_peak_bytes"],
             "tiled_peak_bytes": tiled_stats["memory_extract_peak_bytes"],
             "output_bytes": tiled_stats["memory_output_bytes"],
         })
+    rows.append(_hidden_core_row(repeats))
     return rows
+
+
+def _hidden_core_row(repeats: int = 5) -> Dict[str, object]:
+    """Full one-shot scan vs DIM3 core-mapped extraction."""
+    product, mapping = hidden_core_workload()
+    side = product.shape[0]
+    ids = np.arange(side, dtype=np.int64)
+    full_stats: Dict[str, object] = {}
+    mapped_stats: Dict[str, object] = {}
+    full_seconds = _best_of(
+        lambda: tiling.tiled_nonzero_block(
+            product, ids, ids, threshold=THRESHOLD,
+            tile_rows=tiling.FULL_SCAN, stats=full_stats,
+        ),
+        repeats,
+    )
+    mapped_seconds = _best_of(
+        lambda: core_mapping.mapped_nonzero_block(
+            product, ids, ids, mapping, threshold=THRESHOLD,
+            stats=mapped_stats,
+        ),
+        repeats,
+    )
+    return {
+        "workload": "hidden_core_mapped",
+        "cells": int(product.size),
+        "output_pairs": int((product > THRESHOLD).sum()),
+        "full_ms": round(full_seconds * 1e3, 3),
+        "tiled_ms": round(mapped_seconds * 1e3, 3),
+        "speedup": round(speedup(full_seconds, mapped_seconds), 2),
+        "mode": mapped_stats["extract_mode"],
+        "tile_rows": mapped_stats["extract_tile_rows"],
+        "tiles_skipped": mapped_stats["extract_tiles_skipped"],
+        "full_peak_bytes": full_stats["memory_extract_peak_bytes"],
+        "tiled_peak_bytes": mapped_stats["memory_extract_peak_bytes"],
+        "output_bytes": mapped_stats["memory_output_bytes"],
+    }
 
 
 def _trimmed_mean(runs: List[float]) -> float:
@@ -207,6 +292,8 @@ def headline_metrics(extract_rows, shard_rows) -> Dict[str, object]:
         "sparse_clustered_speedup": by_name["sparse_clustered"]["speedup"],
         "sparse_scattered_speedup": by_name["sparse_scattered"]["speedup"],
         "dense_core_speedup": by_name["dense_core"]["speedup"],
+        "dense_noisy_speedup": by_name["dense_noisy"]["speedup"],
+        "hidden_core_mapped_speedup": by_name["hidden_core_mapped"]["speedup"],
         "warm_shard_requery_speedup": cached["warm_speedup_vs_pr4"],
         "update_requery_speedup": cached["requery_speedup_vs_pr4"],
         "quick_mode": QUICK,

@@ -1,0 +1,83 @@
+"""Unit tests for the CI benchmark-regression gate."""
+
+import json
+
+import check_bench_regression as gate
+
+
+def _doc(**metrics):
+    return {"micro_x": {"commit": "abc", "metrics": metrics}}
+
+
+def test_pass_when_speedups_hold():
+    base = _doc(a_speedup=10.0, b_speedup=2.0, pairs=5)
+    cur = _doc(a_speedup=9.0, b_speedup=2.1, pairs=9)
+    report, regressions = gate.speedup_regressions(cur, base)
+    assert regressions == []
+    assert len(report) == 2  # non-speedup metrics are not compared
+
+
+def test_fail_on_20_percent_regression():
+    base = _doc(a_speedup=10.0)
+    cur = _doc(a_speedup=7.9)
+    _, regressions = gate.speedup_regressions(cur, base)
+    assert len(regressions) == 1
+    assert "a_speedup" in regressions[0]
+
+
+def test_boundary_ratio_passes():
+    base = _doc(a_speedup=10.0)
+    cur = _doc(a_speedup=8.0)  # exactly 0.8x: not past the threshold
+    _, regressions = gate.speedup_regressions(cur, base)
+    assert regressions == []
+
+
+def test_quick_mode_entries_skipped():
+    base = _doc(a_speedup=10.0, quick_mode=False)
+    cur = _doc(a_speedup=1.0, quick_mode=True)
+    report, regressions = gate.speedup_regressions(cur, base)
+    assert regressions == []
+    assert any("quick-mode" in line for line in report)
+
+
+def test_new_benchmarks_and_metrics_pass():
+    base = _doc(a_speedup=10.0)
+    cur = {"micro_x": {"metrics": {"a_speedup": 10.0, "new_speedup": 0.1}},
+           "micro_new": {"metrics": {"z_speedup": 0.5}}}
+    _, regressions = gate.speedup_regressions(cur, base)
+    assert regressions == []
+
+
+def test_non_numeric_and_zero_baselines_ignored():
+    base = _doc(a_speedup=0.0, b_speedup="n/a")
+    cur = _doc(a_speedup=0.0, b_speedup=1.0)
+    report, regressions = gate.speedup_regressions(cur, base)
+    assert regressions == [] and report == []
+
+
+def test_cli_passes_against_repo_history(tmp_path, capsys):
+    # The committed ledger compared against itself can never regress.
+    assert gate.main(["--baseline-ref", "HEAD"]) == 0
+    out = capsys.readouterr().out
+    assert "bench gate" in out
+
+
+def test_cli_missing_results_passes(tmp_path):
+    assert gate.main(["--results", str(tmp_path / "nope.json")]) == 0
+
+
+def test_cli_detects_regression_via_tmp_results(tmp_path, capsys):
+    # Downgrade one committed speedup by 10x and point the gate at it.
+    committed = gate.load_baseline("HEAD")
+    assert committed, "expected a committed BENCH_micro.json"
+    doctored = json.loads(json.dumps(committed))
+    name = next(n for n, entry in doctored.items()
+                if not entry["metrics"].get("quick_mode")
+                and any(k.endswith("_speedup") for k in entry["metrics"]))
+    key = next(k for k in doctored[name]["metrics"] if k.endswith("_speedup"))
+    doctored[name]["metrics"][key] = float(doctored[name]["metrics"][key]) / 10
+    path = tmp_path / "BENCH_micro.json"
+    path.write_text(json.dumps(doctored), encoding="utf-8")
+    # --results outside the repo still resolves the baseline from HEAD.
+    rc = gate.main(["--baseline-ref", "HEAD", "--results", str(path)])
+    assert rc == 1

@@ -44,6 +44,15 @@ def test_micro_extract_tiling_tables(benchmark, record_json):
     assert clustered["tiled_peak_bytes"] * 8 <= clustered["full_peak_bytes"], clustered
     # The scattered-sparse case must at least not regress.
     assert by_name["sparse_scattered"]["speedup"] >= 1.2, by_name
+    # Acceptance: the adaptive modes close the dense regression — the
+    # saturated product must no longer lose to the one-shot scan (merged
+    # rectangle emission), the noisy-dense product must stay within noise of
+    # it (bail-out), and the scrambled hidden core must win through the
+    # DIM3 mapping.
+    assert by_name["dense_core"]["speedup"] >= 0.95, by_name["dense_core"]
+    assert by_name["dense_noisy"]["speedup"] >= 0.8, by_name["dense_noisy"]
+    assert by_name["hidden_core_mapped"]["speedup"] >= 0.95, \
+        by_name["hidden_core_mapped"]
 
     # Acceptance: warm sharded re-query >= 3x over the cache-off baseline.
     assert metrics["warm_shard_requery_speedup"] >= 3.0, shard_rows

@@ -33,7 +33,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.bench.report import format_table
-from repro.core.config import MATRIX_BACKENDS, MMJoinConfig
+from repro.core.config import EXTRACT_MODES, MATRIX_BACKENDS, MMJoinConfig
 from repro.core.star import star_join_detailed
 from repro.core.two_path import two_path_join, two_path_join_detailed
 from repro.data.loaders import load_edge_list
@@ -124,11 +124,16 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tile-rows", type=int, default=None,
                         help="row-band height of the tiled non-zero extraction "
                              "(default: density-aware auto; 0 = one-shot full scan)")
+    parser.add_argument("--extract-mode", choices=EXTRACT_MODES, default="auto",
+                        help="non-zero extraction strategy: auto (adaptive "
+                             "bail-out), full, tiled, adaptive, or core "
+                             "(DIM3 dense-core mapping)")
 
 
 def _config_from_args(args: argparse.Namespace) -> MMJoinConfig:
     config = MMJoinConfig(matrix_backend=args.backend,
-                          extract_tile_rows=getattr(args, "tile_rows", None))
+                          extract_tile_rows=getattr(args, "tile_rows", None),
+                          extract_mode=getattr(args, "extract_mode", "auto"))
     if args.delta1 is not None and args.delta2 is not None:
         config = config.with_thresholds(args.delta1, args.delta2)
     if args.no_optimizer:

@@ -27,6 +27,8 @@ def _is_registered_backend(name: str) -> bool:
     return name in default_registry()
 DEDUP_STRATEGIES = ("hash", "sort", "counter", "auto")
 
+EXTRACT_MODES = ("auto", "full", "tiled", "adaptive", "core")
+
 
 @dataclass(frozen=True)
 class MMJoinConfig:
@@ -70,6 +72,17 @@ class MMJoinConfig:
         (see :mod:`repro.matmul.tiling`).  ``None`` (default) resolves a
         density-aware tile automatically; ``0`` forces the one-shot full
         scan; any positive value pins the band height.
+    extract_mode:
+        Strategy of the non-zero extraction scan.  ``"auto"`` (default) lets
+        the scan pick per product: tiny products go one-shot, everything
+        else screens bands adaptively (bailing out to a one-shot scan when
+        the observed live-row density says screening is wasted).  ``"full"``
+        forces the one-shot scan, ``"tiled"`` forces screening with the
+        bail-out disarmed, ``"adaptive"`` forces screening with the bail-out
+        armed, and ``"core"`` enables the DIM3 dense-core mapping
+        (:mod:`repro.matmul.mapping`): a degree-sorted permutation clusters
+        hot rows/columns into a dense core that is extracted one-shot while
+        the sparse remainder stays tiled.
     use_optimizer:
         When False and thresholds are given, they are used verbatim; when
         True the cost-based optimizer may still fall back to the plain WCOJ.
@@ -85,6 +98,7 @@ class MMJoinConfig:
     optimizer_shrink: float = 0.5
     max_heavy_dimension: int = 20_000
     extract_tile_rows: Optional[int] = None
+    extract_mode: str = "auto"
     use_optimizer: bool = True
 
     def __post_init__(self) -> None:
@@ -113,6 +127,10 @@ class MMJoinConfig:
             raise ValueError(
                 "extract_tile_rows must be None (auto), 0 (full scan) or positive"
             )
+        if self.extract_mode not in EXTRACT_MODES:
+            raise ValueError(
+                f"extract_mode must be one of {EXTRACT_MODES}, got {self.extract_mode!r}"
+            )
 
     def cache_signature(self) -> tuple:
         """The fields that can change a plan or its derived artifacts.
@@ -131,6 +149,7 @@ class MMJoinConfig:
             self.optimizer_shrink,
             self.max_heavy_dimension,
             self.extract_tile_rows,
+            self.extract_mode,
             self.use_optimizer,
         )
 

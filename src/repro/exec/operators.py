@@ -47,8 +47,9 @@ from repro.joins.baseline import (
     deduped_probe_block,
     star_expansion_block,
 )
+from repro.matmul.mapping import heavy_core_mapping
 from repro.matmul.registry import BackendRegistry
-from repro.matmul.tiling import tiled_nonzero_coords
+from repro.matmul.tiling import MODE_CORE, tiled_nonzero_coords
 from repro.parallel.executor import ParallelExecutor, split_relation
 
 Pair = Tuple[int, int]
@@ -466,6 +467,59 @@ class MatMulHeavy(PhysicalOperator):
         state.backend_name = backend.name
         return backend
 
+    @staticmethod
+    def _density_hint(state: ExecutionState, u: int, w: int):
+        """The planner's output-density estimate for a ``u x w`` product.
+
+        ``estimated_output`` counts distinct output pairs of the whole
+        query, so this is an upper bound on the product's non-zero density —
+        exactly what the adaptive scan needs to decide whether screening can
+        pay for itself.
+        """
+        decision = state.decision
+        if decision is None or u <= 0 or w <= 0:
+            return None
+        estimated = float(getattr(decision, "estimated_output", 0.0) or 0.0)
+        if estimated <= 0.0:
+            return None
+        return min(1.0, estimated / (float(u) * float(w)))
+
+    def _core_mapping(self, state: ExecutionState, left_heavy, right_heavy,
+                      rows, cols, inner_dim: int):
+        """Build (or fetch) the DIM3 dense-core mapping for this product.
+
+        The permutation depends only on the heavy relations' degree
+        sequences, so under a session it is cached by the relations' tokens
+        (which embed their versions): warm serving never recomputes it.
+        """
+        ctx = state.session
+        key = (
+            ctx.key("dense_core_map", state.relations, state.mode,
+                    state.config.cache_signature())
+            if ctx is not None else None
+        )
+        if key is not None:
+            found, mapping = ctx.artifacts.lookup(key)
+            if found:
+                self.detail["mapping_cache"] = "hit"
+                return mapping
+        mapping = heavy_core_mapping(left_heavy, right_heavy, rows, cols, inner_dim)
+        if key is not None:
+            ctx.artifacts.put(key, mapping, mapping.nbytes)
+            self.detail["mapping_cache"] = "miss"
+        return mapping
+
+    def _extraction_args(self, state: ExecutionState, dims: Tuple[int, int, int],
+                         left_heavy, right_heavy, rows, cols):
+        """Resolve ``(extract_mode, mapping, density_hint)`` for the product."""
+        u, v, w = dims
+        mode = state.config.extract_mode
+        mapping = None
+        if mode == MODE_CORE:
+            mapping = self._core_mapping(state, left_heavy, right_heavy,
+                                         rows, cols, v)
+        return mode, mapping, self._density_hint(state, u, w)
+
     def _run_pairs(self, state: ExecutionState) -> None:
         partition = state.partition
         rows, mids, cols = partition.heavy_x, partition.heavy_y, partition.heavy_z
@@ -484,11 +538,15 @@ class MatMulHeavy(PhysicalOperator):
                 partition.r_heavy, partition.s_heavy, rows, mids, cols
             ),
         )
+        extract_mode, mapping, density_hint = self._extraction_args(
+            state, dims, partition.r_heavy, partition.s_heavy, rows, cols
+        )
         extract_stats: Dict[str, Any] = {}
         block, build_seconds, multiply_seconds = backend.heavy_pairs(
             partition.r_heavy, partition.s_heavy, rows, mids, cols,
             cores=state.config.cores, operands=operands,
             tile_rows=state.config.extract_tile_rows, extract_stats=extract_stats,
+            extract_mode=extract_mode, mapping=mapping, density_hint=density_hint,
         )
         if cache_status is not None:
             self.detail["cache"] = cache_status
@@ -536,11 +594,15 @@ class MatMulHeavy(PhysicalOperator):
             state, backend,
             lambda: backend.build_operands(left_heavy, right_heavy, rows, heavy_y, cols),
         )
+        extract_mode, mapping, density_hint = self._extraction_args(
+            state, dims, left_heavy, right_heavy, rows, cols
+        )
         extract_stats: Dict[str, Any] = {}
         counted, build_seconds, multiply_seconds = backend.heavy_counts(
             left_heavy, right_heavy, rows, heavy_y, cols,
             cores=state.config.cores, operands=operands,
             tile_rows=state.config.extract_tile_rows, extract_stats=extract_stats,
+            extract_mode=extract_mode, mapping=mapping, density_hint=density_hint,
         )
         if cache_status is not None:
             self.detail["cache"] = cache_status
@@ -590,10 +652,15 @@ class MatMulHeavy(PhysicalOperator):
         backend = self._select(state, dims, nnz_a, nnz_b)
         multiply_start = time.perf_counter()
         product = backend.multiply_dense(matrix_a, matrix_b.T, cores=state.config.cores)
+        # The star head's grouped rows are synthetic combinations, not a
+        # degree-sorted domain, so the core mapping does not apply; "core"
+        # degrades to the adaptive auto policy inside the scan.
         extract_stats: Dict[str, Any] = {}
         hit_rows, hit_cols = tiled_nonzero_coords(
             np.asarray(product), threshold=0.5,
             tile_rows=state.config.extract_tile_rows, stats=extract_stats,
+            mode=state.config.extract_mode,
+            density_hint=self._density_hint(state, dims[0], dims[2]),
         )
         self.detail.update(extract_stats)
         # Head tuples are column gathers from the two grouped row tables —

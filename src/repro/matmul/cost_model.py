@@ -155,31 +155,88 @@ class MatMulCostModel:
         return cells * seconds_per_cell / self.speedup(cores)
 
     def estimate_extraction(self, u: int, w: int, cores: int = 1,
-                            tile_rows: "Optional[int]" = None) -> float:
+                            tile_rows: "Optional[int]" = None,
+                            mode: "Optional[str]" = None,
+                            density: "Optional[float]" = None,
+                            core_shape: "Optional[Tuple[int, int]]" = None) -> float:
         """Estimate the non-zero extraction cost of a ``u x w`` product.
 
-        The one-shot scan pays roughly three passes over the product (the
-        boolean compare-and-write plus ``np.nonzero``'s count and gather
-        passes); the tiled scan pays one ``max``-reduction pass plus a fixed
-        per-band overhead (skipped bands pay nothing further, so this is the
-        tiled scan's worst case).  The plan resolution mirrors
-        :func:`repro.matmul.tiling.extraction_plan`.
+        Per-mode estimates (``mode=None``/``"auto"`` returns the best):
+
+        * ``full`` — roughly three passes over the product (the boolean
+          compare-and-write plus ``np.nonzero``'s count and gather passes);
+        * ``tiled`` — one ``max``-reduction screen pass, the mask/gather
+          passes over the live fraction (``density``), and a fixed per-band
+          overhead (skipped bands pay nothing further);
+        * ``adaptive`` — the tiled scan with the bail-out armed: bounded by
+          the cheaper of the tiled scan and the full scan plus one screened
+          prefix band;
+        * ``core`` — one gather-and-emit pass over the dense core
+          (``core_shape``, or a ``density``-sized core when unknown) plus
+          the tiled scan of the sparse remainder.
+
+        The plan resolution mirrors
+        :func:`repro.matmul.tiling.extraction_plan`; the per-cell constant
+        is calibrated in-session by :meth:`observe_extraction`.
         """
         if u <= 0 or w <= 0:
             return 0.0
         from repro.matmul.tiling import extraction_plan
 
         cells = float(u) * float(w)
-        mode, band_rows = extraction_plan((int(u), int(w)), tile_rows)
-        if mode == "full":
-            seconds = 3.0 * cells * self.extract_seconds_per_cell
+        per_cell = self.extract_seconds_per_cell
+        live = 0.05 if density is None else min(max(float(density), 0.0), 1.0)
+        full = 3.0 * cells * per_cell
+        plan_mode, band_rows = extraction_plan((int(u), int(w)), tile_rows)
+        if plan_mode == "full":
+            # Tiny or explicitly untiled product: there is no banded scan.
+            tiled = adaptive = full
         else:
             bands = float(-(-int(u) // max(int(band_rows), 1)))
-            seconds = (
-                cells * self.extract_seconds_per_cell
+            tiled = (
+                (1.0 + 2.0 * live) * cells * per_cell
                 + bands * self.tile_band_overhead_seconds
             )
+            prefix = (
+                float(band_rows) * float(w) * per_cell
+                + self.tile_band_overhead_seconds
+            )
+            adaptive = min(tiled, full + prefix)
+        if core_shape is not None:
+            core_cells = float(core_shape[0]) * float(core_shape[1])
+        else:
+            core_cells = live * cells
+        core_cells = min(core_cells, cells)
+        rest = cells - core_cells
+        core = (
+            2.0 * core_cells * per_cell  # gather + one-shot emit
+            + (1.0 + live) * rest * per_cell
+            + self.tile_band_overhead_seconds
+        )
+        estimates = {"full": full, "tiled": tiled, "adaptive": adaptive,
+                     "core": core}
+        if mode in (None, "auto"):
+            seconds = min(full, tiled, adaptive)
+        else:
+            seconds = estimates.get(mode, adaptive)
         return seconds / self.speedup(cores)
+
+    def observe_extraction(self, u: int, w: int, seconds: float,
+                           mode: str = "full", cores: int = 1,
+                           blend: float = 0.5) -> None:
+        """Calibrate the per-cell extraction constant from a measurement.
+
+        Only full-pass observations carry a clean per-cell signal (``full``
+        and post-bail ``adaptive`` scans touch every cell about three
+        times); screened scans skip unknown amounts of work and are ignored.
+        """
+        if u <= 0 or w <= 0 or seconds <= 0.0 or mode not in ("full", "adaptive"):
+            return
+        cells = float(u) * float(w)
+        measured = seconds * self.speedup(cores) / (3.0 * cells)
+        self.extract_seconds_per_cell = (
+            blend * measured + (1.0 - blend) * self.extract_seconds_per_cell
+        )
 
     def speedup(self, cores: int) -> float:
         """Model the multi-core speedup: 1 + eff * (cores - 1)."""

@@ -33,6 +33,7 @@ from repro.core.config import MMJoinConfig
 from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.relation import Relation
 from repro.matmul import dense as dense_mm
+from repro.matmul import mapping as mapping_mm
 from repro.matmul import sparse as sparse_mm
 from repro.matmul import tiling
 from repro.matmul.blocked import blocked_matmul
@@ -90,26 +91,42 @@ class MatMulBackend(abc.ABC):
         return self.multiply_dense(m1, m2, cores=cores)
 
     def extract_pairs(self, product, rows, cols, threshold: float,
-                      tile_rows=None, stats=None) -> PairBlock:
+                      tile_rows=None, stats=None, mode=None, mapping=None,
+                      density_hint=None) -> PairBlock:
         """Output pairs from a product as a columnar :class:`PairBlock`.
 
         Dense products go through the density-aware tiled scan
-        (:mod:`repro.matmul.tiling`): all-zero row bands are skipped and
+        (:mod:`repro.matmul.tiling`): all-zero row bands are skipped, the
+        adaptive bail-out bounds screening overhead on dense products, and
         peak extraction memory stays ``O(tile + output)``.  ``tile_rows``
         overrides the band height (``None`` = auto, ``0`` = one-shot scan);
+        ``mode`` pins the scan strategy, ``mapping`` carries a DIM3
+        dense-core permutation (used when ``mode == "core"``),
+        ``density_hint`` is the planner's output-density estimate, and
         ``stats`` collects the extraction accounting for ``explain()``.
         """
+        if mapping is not None and mode == tiling.MODE_CORE:
+            return mapping_mm.mapped_nonzero_block(
+                product, rows, cols, mapping, threshold=threshold,
+                tile_rows=tile_rows, stats=stats,
+            )
         return tiling.tiled_nonzero_block(
             product, rows, cols, threshold=threshold, tile_rows=tile_rows,
-            stats=stats,
+            stats=stats, mode=mode, density_hint=density_hint,
         )
 
     def extract_counts(self, product, rows, cols, threshold: float,
-                       tile_rows=None, stats=None) -> CountedPairBlock:
+                       tile_rows=None, stats=None, mode=None, mapping=None,
+                       density_hint=None) -> CountedPairBlock:
         """Witness counts from a product as a :class:`CountedPairBlock`."""
+        if mapping is not None and mode == tiling.MODE_CORE:
+            return mapping_mm.mapped_nonzero_counted_block(
+                product, rows, cols, mapping, threshold=threshold,
+                tile_rows=tile_rows, stats=stats,
+            )
         return tiling.tiled_nonzero_counted_block(
             product, rows, cols, threshold=threshold, tile_rows=tile_rows,
-            stats=stats,
+            stats=stats, mode=mode, density_hint=density_hint,
         )
 
     # -- heavy-residual evaluation (shared timed template) ----------------
@@ -125,17 +142,21 @@ class MatMulBackend(abc.ABC):
         operands=None,
         tile_rows=None,
         extract_stats=None,
+        extract_mode=None,
+        mapping=None,
+        density_hint=None,
     ) -> Tuple[PairBlock, float, float]:
         """Output-pair block of the heavy residual plus (build, multiply) seconds.
 
         ``operands`` may carry a prebuilt ``(m1, m2)`` pair in this backend's
         native layout (e.g. out of a session's operand cache); construction
-        is then skipped and the reported build time is zero.  ``tile_rows``
-        and ``extract_stats`` flow into :meth:`extract_pairs`.
+        is then skipped and the reported build time is zero.  ``tile_rows``,
+        ``extract_stats``, ``extract_mode``, ``mapping`` and ``density_hint``
+        flow into :meth:`extract_pairs`.
         """
         return self._heavy(left_heavy, right_heavy, rows, mids, cols, threshold,
                            cores, self.extract_pairs, operands, tile_rows,
-                           extract_stats)
+                           extract_stats, extract_mode, mapping, density_hint)
 
     def heavy_counts(
         self,
@@ -149,14 +170,18 @@ class MatMulBackend(abc.ABC):
         operands=None,
         tile_rows=None,
         extract_stats=None,
+        extract_mode=None,
+        mapping=None,
+        density_hint=None,
     ) -> Tuple[CountedPairBlock, float, float]:
         """Witness-count block of the heavy residual plus (build, multiply) seconds."""
         return self._heavy(left_heavy, right_heavy, rows, mids, cols, threshold,
                            cores, self.extract_counts, operands, tile_rows,
-                           extract_stats)
+                           extract_stats, extract_mode, mapping, density_hint)
 
     def _heavy(self, left_heavy, right_heavy, rows, mids, cols, threshold, cores,
-               extract, operands=None, tile_rows=None, extract_stats=None):
+               extract, operands=None, tile_rows=None, extract_stats=None,
+               extract_mode=None, mapping=None, density_hint=None):
         if operands is None:
             build_start = time.perf_counter()
             m1, m2 = self.build_operands(left_heavy, right_heavy, rows, mids, cols)
@@ -167,15 +192,21 @@ class MatMulBackend(abc.ABC):
         multiply_start = time.perf_counter()
         product = self.multiply(m1, m2, cores=cores)
         # Runtime-registered backends may override the extraction hooks with
-        # the pre-tiling 4-argument signature; only forward the tiling
-        # keywords to overrides that can accept them.
+        # an older signature (the pre-tiling 4-argument form, or the
+        # pre-adaptive tile_rows/stats form); only forward the keywords each
+        # override can actually accept.
         params = inspect.signature(extract).parameters
-        accepts_kwargs = "tile_rows" in params or any(
+        has_var_kw = any(
             p.kind == inspect.Parameter.VAR_KEYWORD for p in params.values()
         )
-        if accepts_kwargs:
-            result = extract(product, rows, cols, threshold,
-                             tile_rows=tile_rows, stats=extract_stats)
+        kwargs = {}
+        for name, value in (("tile_rows", tile_rows), ("stats", extract_stats),
+                            ("mode", extract_mode), ("mapping", mapping),
+                            ("density_hint", density_hint)):
+            if has_var_kw or name in params:
+                kwargs[name] = value
+        if kwargs:
+            result = extract(product, rows, cols, threshold, **kwargs)
         else:
             result = extract(product, rows, cols, threshold)
         return result, build_seconds, time.perf_counter() - multiply_start
@@ -208,7 +239,8 @@ class DenseBackend(MatMulBackend):
             cost_model.estimate(u, v, w, cores=config.cores)
             + cost_model.estimate_construction(u, v, w, cores=config.cores)
             + cost_model.estimate_extraction(
-                u, w, cores=config.cores, tile_rows=config.extract_tile_rows
+                u, w, cores=config.cores, tile_rows=config.extract_tile_rows,
+                mode=config.extract_mode,
             )
         )
 
@@ -247,15 +279,18 @@ class SparseBackend(MatMulBackend):
         return sparse_mm.sparse_count_matmul(m1, m2)
 
     def extract_pairs(self, product, rows, cols, threshold: float,
-                      tile_rows=None, stats=None) -> PairBlock:
+                      tile_rows=None, stats=None, mode=None, mapping=None,
+                      density_hint=None) -> PairBlock:
         # A CSR product's COO scan is already output-proportional, so the
-        # dense tiling knob does not apply; only the accounting is recorded.
+        # dense tiling/adaptive/core knobs do not apply; only the accounting
+        # is recorded.
         return sparse_mm.sparse_nonzero_block(
             product, rows, cols, threshold=threshold, stats=stats
         )
 
     def extract_counts(self, product, rows, cols, threshold: float,
-                       tile_rows=None, stats=None) -> CountedPairBlock:
+                       tile_rows=None, stats=None, mode=None, mapping=None,
+                       density_hint=None) -> CountedPairBlock:
         return sparse_mm.sparse_nonzero_counted_block(
             product, rows, cols, threshold=threshold, stats=stats
         )
@@ -299,7 +334,8 @@ class BlockedBackend(MatMulBackend):
         return self.python_overhead * cost_model.estimate(
             u, v, w, cores=config.cores
         ) + cost_model.estimate_extraction(
-            u, w, cores=config.cores, tile_rows=config.extract_tile_rows
+            u, w, cores=config.cores, tile_rows=config.extract_tile_rows,
+            mode=config.extract_mode,
         )
 
 
@@ -327,7 +363,8 @@ class StrassenBackend(MatMulBackend):
         return self.python_overhead * cost_model.estimate(
             u, v, w, cores=config.cores
         ) + cost_model.estimate_extraction(
-            u, w, cores=config.cores, tile_rows=config.extract_tile_rows
+            u, w, cores=config.cores, tile_rows=config.extract_tile_rows,
+            mode=config.extract_mode,
         )
 
 

@@ -59,6 +59,7 @@ class CostFeedback:
         default_factory=lambda: deque(maxlen=MAX_FEEDBACK_ROWS)
     )
     observations: int = 0
+    extraction_observations: int = 0
 
     def record(self, explanation: PlanExplanation, cores: int = 1) -> None:
         """Fold one executed plan's explanation into the feedback state."""
@@ -79,6 +80,16 @@ class CostFeedback:
             u, v, w = (int(d) for d in dims)
             self.cost_model.observe(u, v, w, cores=cores, seconds=multiply_seconds)
             self.observations += 1
+            # Full-pass extraction scans calibrate the per-cell extraction
+            # constant the per-mode estimates are built from; screened scans
+            # skip unknown amounts of work and carry no clean signal.
+            extract_mode = report.detail.get("extract_mode")
+            extract_seconds = float(report.detail.get("extract_seconds", 0.0))
+            if extract_mode in ("full", "adaptive") and extract_seconds > 0.0:
+                self.cost_model.observe_extraction(
+                    u, w, extract_seconds, mode=str(extract_mode), cores=cores
+                )
+                self.extraction_observations += 1
 
     def summary(self) -> List[Dict[str, object]]:
         """Per-operator aggregate rows (printed by ``repro-cli session``)."""

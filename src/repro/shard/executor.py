@@ -547,9 +547,26 @@ def _rollup(
             for key in ("memory_in_bytes", "memory_out_bytes",
                         "memory_full_scan_bytes",
                         "sub_blocks_total", "sub_blocks_skipped",
-                        "head_values_skipped"):
+                        "head_values_skipped",
+                        "extract_tiles_total", "extract_tiles_skipped",
+                        "extract_tiles_saturated"):
                 if key in op.detail:
                     agg.detail[key] = agg.detail.get(key, 0) + int(op.detail[key])
+            # Per-shard extraction choices compose: hash shards may resolve
+            # different modes (and dense-core geometries) than each other
+            # and than the heavy shards' rank-1 rectangles; surface the set.
+            if "extract_mode" in op.detail:
+                modes = set(agg.detail.get("extract_modes", ()))
+                modes.add(str(op.detail["extract_mode"]))
+                agg.detail["extract_modes"] = tuple(sorted(modes))
+            if "dense_core_shape" in op.detail:
+                shape = tuple(op.detail["dense_core_shape"])
+                previous = agg.detail.get("dense_core_shape", (0, 0))
+                if shape[0] * shape[1] >= previous[0] * previous[1]:
+                    agg.detail["dense_core_shape"] = shape
+                    agg.detail["dense_core_density"] = float(
+                        op.detail.get("dense_core_density", 0.0)
+                    )
             # A peak aggregates with max, not sum: shard subplans run one at
             # a time per worker, so the largest shard's transient is the
             # plan-level peak.

@@ -62,6 +62,20 @@ class TestParser:
         assert args.shards == 4
         assert build_parser().parse_args(["join", "f.txt"]).shards == 1
 
+    def test_extract_mode_flag(self):
+        for mode in ("auto", "full", "tiled", "adaptive", "core"):
+            args = build_parser().parse_args(
+                ["join", "f.txt", "--extract-mode", mode])
+            assert args.extract_mode == mode
+        assert build_parser().parse_args(["join", "f.txt"]).extract_mode == "auto"
+        assert build_parser().parse_args(
+            ["explain", "f.txt", "--extract-mode", "core"]).extract_mode == "core"
+
+    def test_invalid_extract_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["join", "f.txt", "--extract-mode", "bogus"])
+
     def test_shard_defaults(self):
         args = build_parser().parse_args(["shard", "f.txt"])
         assert args.command == "shard"

@@ -152,6 +152,62 @@ class TestTiledExtractionAgrees:
 
 
 # --------------------------------------------------------------------------- #
+# Extract-mode axis: every extraction strategy must be invisible in the output
+# --------------------------------------------------------------------------- #
+# "full" pins the one-shot scan, "tiled" the screened scan with no bail-out,
+# "adaptive" the bail-out scan, "core" the DIM3 degree-sorted mapping (which
+# degrades to auto where no mapping applies, e.g. the star's grouped rows);
+# "auto" lets the planner pick.
+EXTRACT_MODE_AXIS = ("auto", "full", "tiled", "adaptive", "core")
+
+
+@pytest.mark.parametrize("extract_mode", EXTRACT_MODE_AXIS)
+class TestExtractModeAgrees:
+    def _config(self, extract_mode: str, **kwargs) -> MMJoinConfig:
+        kwargs.setdefault("matrix_backend", "dense")
+        return MMJoinConfig(delta1=1, delta2=1, extract_mode=extract_mode,
+                            **kwargs)
+
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_pairs_and_counts_identical(self, extract_mode, pair):
+        left, right = pair
+        config = self._config(extract_mode)
+        assert two_path_join(left, right, config=config).pairs == \
+            combinatorial_two_path(left, right)
+        assert two_path_join_counts(left, right, config=config).counts == \
+            hash_join_project_counts(left, right)
+
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    @given(pair=relation_pairs(max_size=60))
+    def test_modes_per_backend(self, extract_mode, pair):
+        left, right = pair
+        expected = combinatorial_two_path(left, right)
+        for backend in ALL_BACKENDS:
+            config = self._config(extract_mode, matrix_backend=backend)
+            assert two_path_join(left, right, config=config).pairs == \
+                expected, backend
+
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    @given(rels=relation_lists(max_size=50))
+    def test_star_identical(self, extract_mode, rels):
+        engine = make_engine("mmjoin", config=self._config(extract_mode))
+        assert engine.star(rels) == combinatorial_star(rels)
+
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    @given(rows=skewed_pair_lists(max_size=100))
+    def test_sharded_with_extract_mode(self, extract_mode, rows):
+        skewed = Relation.from_pairs(rows, name="L")
+        expected = combinatorial_two_path(skewed, skewed)
+        with QuerySession(config=self._config(extract_mode), shards=3) as session:
+            session.register(skewed, name="L", sharded=True)
+            cold = session.two_path("L", "L", use_memo=False)
+            warm = session.two_path("L", "L", use_memo=False)
+        assert cold.pairs == expected
+        assert warm.pairs == expected
+
+
+# --------------------------------------------------------------------------- #
 # Session-cached vs cold paths
 # --------------------------------------------------------------------------- #
 class TestSessionAgreesWithCold:

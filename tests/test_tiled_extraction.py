@@ -232,3 +232,36 @@ def test_cost_model_extraction_term():
     assert full > tiled > 0.0
     # More cores shrink the estimate.
     assert model.estimate_extraction(10_000, 10_000, cores=4) < tiled
+
+
+def test_wide_product_tiles_in_two_dimensions():
+    """A single row past TILE_TARGET_BYTES forces column-band (2-D) tiling."""
+    from repro.matmul.tiling import TILE_TARGET_BYTES, choose_tile_cols
+
+    n_cols = TILE_TARGET_BYTES // 4 + 5_000  # one float32 row > the budget
+    wide = np.zeros((4, n_cols), dtype=np.float32)
+    wide[0, 0] = wide[1, 5] = wide[3, n_cols - 1] = 2.0
+    assert choose_tile_cols(n_cols, 4) < n_cols
+    stats = {}
+    rows, cols = tiling.tiled_nonzero_coords(wide, tile_rows=1, stats=stats)
+    er, ec = np.nonzero(wide > 0.5)
+    # Column tiles are re-sorted into the same row-major order.
+    assert np.array_equal(rows, er) and np.array_equal(cols, ec)
+    assert stats["extract_tiles_total"] > 4  # row bands x column bands
+    assert stats["memory_extract_peak_bytes"] < wide.size  # << full mask
+
+
+def test_saturated_band_accounting():
+    """Contiguous saturated bands merge into one arithmetic rectangle."""
+    arr = np.zeros((100, 50), dtype=np.float32)
+    arr[:40] = 1.0   # four saturated bands at tile_rows=10
+    arr[70, 3] = 2.0
+    stats = {}
+    rows, cols, values = tiling.tiled_nonzero_coords(
+        arr, tile_rows=10, stats=stats, want_values=True)
+    er, ec = np.nonzero(arr > 0.5)
+    assert np.array_equal(rows, er) and np.array_equal(cols, ec)
+    assert np.array_equal(values, arr[er, ec])
+    assert stats["extract_tiles_saturated"] == 4
+    assert stats["extract_tiles_skipped"] == 5  # rows 40-69 and 80-99
+    assert stats["extract_mode"] == "tiled"
