@@ -89,6 +89,15 @@ SHARD_CONFIG = MMJoinConfig(delta1=1, delta2=1, matrix_backend="dense")
 
 
 def _best_of(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Fastest of ``repeats`` runs.
+
+    Best-of is the right statistic for these single-digit-millisecond
+    kernels, but it only rejects noise the sweep outlasts: a recorded
+    ledger once shipped a 3x-slowed ``sparse_clustered`` row because all
+    five runs landed inside one burst of background load.  The sweep
+    defaults to nine repeats so a transient has to span the whole sweep to
+    bias the minimum.
+    """
     best = float("inf")
     for _ in range(max(repeats, 1)):
         start = time.perf_counter()
@@ -145,7 +154,7 @@ def hidden_core_workload(side: int = PRODUCT_SIDE):
     return product, mapping
 
 
-def run_extract_rows(repeats: int = 5) -> List[Dict[str, object]]:
+def run_extract_rows(repeats: int = 9) -> List[Dict[str, object]]:
     """Full-scan vs tiled extraction across output densities."""
     rows: List[Dict[str, object]] = []
     for name, product in product_workloads().items():
@@ -226,6 +235,24 @@ def _trimmed_mean(runs: List[float]) -> float:
     return float(statistics.mean(kept))
 
 
+def _batched_best(fn: Callable[[], object], batch: int, samples: int) -> float:
+    """Best per-call seconds over ``samples`` timing windows of ``batch`` calls.
+
+    The warm cached query runs in ~100 microseconds, where single-call
+    timings are dominated by timer resolution and interpreter jitter;
+    batching several calls per timing window and taking the best window
+    keeps the recorded ratio of a ~100us path to a ~5ms path stable across
+    ambient machine load.
+    """
+    best = float("inf")
+    for _ in range(max(samples, 1)):
+        start = time.perf_counter()
+        for _ in range(max(batch, 1)):
+            fn()
+        best = min(best, (time.perf_counter() - start) / max(batch, 1))
+    return best
+
+
 def _shard_session(result_cache: bool) -> QuerySession:
     left = generators.zipf_bipartite(N_TUPLES, X_DOMAIN, Y_DOMAIN,
                                      skew=SKEW, seed=1, name="R")
@@ -245,10 +272,11 @@ def run_shard_rows(repeats: int = 3) -> List[Dict[str, object]]:
         with _shard_session(result_cache=cached) as session:
             session.two_path("R", "S", use_memo=False)  # fill the caches
             session.two_path("R", "S", use_memo=False)  # reach steady state
-            warm_runs = [
-                _best_of(lambda: session.two_path("R", "S", use_memo=False), 1)
-                for _ in range(max(repeats, 2) + 1)
-            ]
+            warm_seconds = _batched_best(
+                lambda: session.two_path("R", "S", use_memo=False),
+                batch=8 if cached else 3,
+                samples=max(repeats, 2) + 2,
+            )
             reference = session.two_path("R", "S", use_memo=False)
 
             # The PR 4 update scenario: mutate the busiest hash shard, then
@@ -269,7 +297,7 @@ def run_shard_rows(repeats: int = 3) -> List[Dict[str, object]]:
                 "shards": SHARDS,
                 "tuples": 2 * N_TUPLES,
                 "output_pairs": len(reference),
-                "warm_seconds": round(_trimmed_mean(warm_runs), 5),
+                "warm_seconds": round(warm_seconds, 7),
                 "update_requery_seconds": round(_trimmed_mean(requery_runs), 5),
             })
     baseline, with_cache = rows

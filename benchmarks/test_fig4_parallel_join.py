@@ -3,8 +3,13 @@
 The paper plots running time against core count (2..10) for the Jokes and
 Words datasets.  We measure the genuinely parallel two-path evaluation
 (row-partitioned matrix product + partitioned probing) at each core count and
-additionally record the deterministic work-model projection for both MMJoin
-and Non-MMJoin so the series are reproducible on any machine.
+additionally record the work-model projection for both MMJoin and Non-MMJoin.
+The *shape* of a modelled series is deterministic (the work model's
+core-count scaling), but its absolute level is anchored to a measured
+single-core run on the recording machine — so recorded modelled values shift
+with machine speed and load, and only the anchors are re-measured between
+recordings.  The anchors are taken as the median of three runs to keep that
+the only source of drift.
 
 Expected shape: both algorithms speed up with more cores; MMJoin keeps its
 absolute advantage and scales at least as well (its matrix phase is
@@ -46,10 +51,13 @@ def test_fig4de_two_path_core_series(benchmark, record_rows, dataset):
     def build_rows():
         relation = bench_dataset(dataset)
         delta1, delta2 = _thresholds(relation)
+        # The modelled series scale these measured single-core anchors, so a
+        # noisy single-shot anchor would shift every modelled row with it:
+        # repeats=3 records the median run instead.
         mmjoin_single = time_call(
-            parallel_two_path, relation, relation, delta1, delta2, 1, repeats=1
+            parallel_two_path, relation, relation, delta1, delta2, 1, repeats=3
         ).seconds
-        baseline_single = time_call(combinatorial_two_path, relation, relation, repeats=1).seconds
+        baseline_single = time_call(combinatorial_two_path, relation, relation, repeats=3).seconds
         rows = []
         for cores in CORE_COUNTS:
             measured = time_call(
@@ -76,8 +84,12 @@ def test_fig4fg_star_core_series(benchmark, record_rows, dataset):
     def build_rows():
         relation = bench_dataset(dataset).sample_tuples(2000, seed=17)
         relations = [relation, relation, relation]
-        mmjoin_single = time_call(star_join, relations, repeats=1).seconds
-        baseline_single = time_call(combinatorial_star, relations, repeats=1).seconds
+        # Median-of-3 anchors: both modelled series are deterministic
+        # multiples of these measured single-core times (see the module
+        # docstring), so anchor noise is the only way the recorded figure
+        # can shift between runs of the same code.
+        mmjoin_single = time_call(star_join, relations, repeats=3).seconds
+        baseline_single = time_call(combinatorial_star, relations, repeats=3).seconds
         rows = []
         for cores in CORE_COUNTS:
             rows.append({

@@ -38,7 +38,10 @@ def test_fig4a_full_comparison_table(benchmark, record_rows):
             row = {"dataset": dataset}
             for engine_name in ENGINES:
                 engine = make_engine(engine_name)
-                measurement = time_call(engine.two_path, relation, relation, repeats=1)
+                # repeats=3 -> trimmed mean keeps the median run: the sparse
+                # datasets finish in ~5ms where a single-shot timing has
+                # recorded noise-level speedup flips (roadnet vs postgres).
+                measurement = time_call(engine.two_path, relation, relation, repeats=3)
                 row[engine_name] = measurement.seconds
                 reference_sizes.setdefault(dataset, len(measurement.value))
                 assert len(measurement.value) == reference_sizes[dataset]

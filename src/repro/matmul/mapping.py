@@ -132,8 +132,12 @@ def mapped_nonzero_coords(
     """Coordinates (and optionally values) above ``threshold``, via the core.
 
     The dense core is gathered and scanned one-shot (or emitted
-    arithmetically when saturated); the two remainder slabs — rest rows x
-    all columns, core rows x rest columns — are scanned in screened bands.
+    arithmetically when saturated); the remainder — everything outside the
+    core rectangle — is scanned in *contiguous* screened row bands of the
+    original matrix, with the already-emitted core cells cleared from each
+    band's mask.  Contiguous bands are views, so the remainder pass pays no
+    gather copies at all (the earlier slab decomposition gathered every
+    band through fancy row/column indexing, which dominated its runtime).
     Unlike :func:`repro.matmul.tiling.tiled_nonzero_coords` the coordinates
     come back in core-first order, not row-major: every consumer feeds them
     into born-deduplicated blocks, where order is irrelevant.
@@ -183,14 +187,9 @@ def mapped_nonzero_coords(
             value_parts.append(vals)
 
     band_hint = int(tile_rows) if tile_rows is not None and int(tile_rows) > 0 else None
-    rest_r = np.sort(mapping.row_order[cr:])
-    rest_c = np.sort(mapping.col_order[cc:])
-    # Remainder slab 1: rest rows x all columns (no column gather needed).
-    _subset_scan(arr, rest_r, None, threshold, want_values,
-                 row_parts, col_parts, value_parts, counters, band_hint)
-    # Remainder slab 2: core rows x rest columns.
-    _subset_scan(arr, core_r, rest_c, threshold, want_values,
-                 row_parts, col_parts, value_parts, counters, band_hint)
+    if cr < n_rows or cc < n_cols:
+        _remainder_scan(arr, core_r, core_c, threshold, want_values,
+                        row_parts, col_parts, value_parts, counters, band_hint)
 
     if row_parts:
         rows = np.concatenate(row_parts)
@@ -215,48 +214,54 @@ def mapped_nonzero_coords(
     return rows, cols
 
 
-def _subset_scan(arr, row_idx, col_idx, threshold, want_values,
-                 row_parts, col_parts, value_parts, counters,
-                 band_hint: Optional[int] = None) -> None:
-    """Screened band scan over ``arr[row_idx][:, col_idx]`` in matrix coords.
+def _remainder_scan(arr, core_r, core_c, threshold, want_values,
+                    row_parts, col_parts, value_parts, counters,
+                    band_hint: Optional[int] = None) -> None:
+    """Screened band scan over everything outside the core rectangle.
 
-    ``col_idx=None`` means all columns.  Each band is gathered (a copy the
-    size of one tile), screened with the usual ``max`` reduction, and only
-    live rows are masked — the same ``O(tile + output)`` envelope as the
-    contiguous tiled scan.
+    Bands are *contiguous* row slices of the original matrix — views, never
+    gathers — screened with the usual ``max`` reduction; inside a surviving
+    band only the live rows are masked and the core cells (already emitted)
+    are cleared from the mask before ``np.nonzero``.  The transient
+    footprint stays in the ``O(tile + output)`` envelope of the contiguous
+    tiled scan: one band mask (plus a live-row copy when the screen
+    filtered anything) at a time.
     """
-    row_idx = np.asarray(row_idx, dtype=np.int64).reshape(-1)
-    width = int(col_idx.size) if col_idx is not None else arr.shape[1]
-    if row_idx.size == 0 or width == 0:
+    n_rows, n_cols = arr.shape
+    if n_rows == 0 or n_cols == 0:
         return
-    band_rows = band_hint or choose_tile_rows(row_idx.size, width, arr.itemsize)
-    for lo in range(0, row_idx.size, band_rows):
-        chunk = row_idx[lo: lo + band_rows]
-        band = arr[chunk] if col_idx is None else arr[chunk[:, None], col_idx]
+    is_core_row = np.zeros(n_rows, dtype=bool)
+    is_core_row[core_r] = True
+    band_rows = band_hint or choose_tile_rows(n_rows, n_cols, arr.itemsize)
+    for lo in range(0, n_rows, band_rows):
+        band = arr[lo: lo + band_rows]
         counters["tiles"] += 1
         row_max = band.max(axis=1)
-        live = row_max > threshold
-        transient = int(band.nbytes + row_max.nbytes + live.nbytes)
-        n_live = int(np.count_nonzero(live))
-        if n_live == 0:
+        if not np.any(row_max > threshold):
             counters["skipped"] += 1
-            counters["peak"] = max(counters["peak"], transient)
+            counters["peak"] = max(counters["peak"],
+                                   int(row_max.nbytes))
             continue
-        if n_live == band.shape[0]:
-            sub = band
-            live_rows = chunk
-        else:
-            sub = band[live]
-            live_rows = chunk[np.flatnonzero(live)]
-            transient += int(sub.nbytes + live_rows.nbytes)
-        mask = sub > threshold
-        rl, cl = np.nonzero(mask)
-        transient += int(mask.nbytes + rl.nbytes + cl.nbytes)
+        # Mask the whole band (a view — no live-row copy: comparing the
+        # extra cold rows is cheaper than gathering the live ones), clear
+        # the already-emitted core cells, then locate hits through
+        # ``flatnonzero`` + one divmod — per-hit coordinate cost instead of
+        # ``np.nonzero``'s far slower 2-D materialisation.
+        mask = band > threshold
+        band_core = np.flatnonzero(is_core_row[lo: lo + band.shape[0]])
+        if band_core.size and core_c.size:
+            mask[band_core[:, None], core_c] = False
+        flat = np.flatnonzero(mask)
+        transient = int(row_max.nbytes + mask.nbytes + flat.nbytes)
         counters["peak"] = max(counters["peak"], transient)
-        row_parts.append(live_rows[rl])
-        col_parts.append(cl if col_idx is None else col_idx[cl])
+        if flat.size == 0:
+            counters["skipped"] += 1
+            continue
+        rl, cl = np.divmod(flat, n_cols)
+        row_parts.append(rl + lo)
+        col_parts.append(cl)
         if want_values:
-            value_parts.append(sub[mask])
+            value_parts.append(band[rl, cl])
 
 
 def mapped_nonzero_block(
