@@ -1,0 +1,41 @@
+"""Bench-runner wiring for the read/write-mix microbenchmark.
+
+Runs :mod:`micro_write_mix` under the pytest-benchmark harness, records the
+table to ``benchmarks/results/micro_write_mix.txt`` plus the
+``BENCH_micro.json`` entry, and asserts the acceptance bar: on the 95/5
+Zipf read/write schedule, serving through delta appends is at least **3x**
+faster than re-registering the grown relation on every write (the module
+itself asserts both strategies serve identical pair sets).
+"""
+
+import micro_write_mix
+
+
+def test_micro_write_mix_table(benchmark, record_rows, record_json):
+    rows = benchmark.pedantic(micro_write_mix.run_rows, rounds=1, iterations=1)
+    text = record_rows(
+        "micro_write_mix", rows,
+        title="Microbenchmark: 95/5 read/write mix, delta appends vs re-register",
+    )
+    print("\n" + text)
+    metrics = micro_write_mix.headline_metrics(rows)
+    record_json("micro_write_mix", metrics)
+
+    by_path = {row["path"]: row for row in rows}
+    assert set(by_path) == {"delta", "baseline"}
+    # Identical service: run_rows() already asserts pair-set equality; the
+    # recorded rows must agree on the output size too.
+    assert by_path["delta"]["output_pairs"] == by_path["baseline"]["output_pairs"]
+    assert by_path["delta"]["writes"] >= 4
+    # 95/5 read/write mix: reads dominate the schedule.
+    assert by_path["delta"]["reads"] >= 10 * by_path["delta"]["writes"]
+    # Acceptance: the streaming write path wins the whole serving loop >= 3x.
+    assert metrics["write_mix_speedup"] >= 3.0, metrics
+
+
+def test_write_mix_batches_are_deterministic():
+    first = micro_write_mix.write_batches(3)
+    second = micro_write_mix.write_batches(3)
+    assert len(first) == len(second) == 3
+    for a, b in zip(first, second):
+        assert (a == b).all()

@@ -16,7 +16,8 @@ Eight subcommands cover the common workflows without writing any Python:
   :class:`~repro.serve.session.QuerySession` and report the cold-vs-warm
   timings, cache-hit counters and the estimated-vs-actual cost feedback;
 * ``repro-cli serve <edge-list>`` — a long-lived serving loop reading query
-  commands from stdin (or ``--script``) against one session;
+  and write commands (``append`` / ``delete`` route as shard deltas under
+  ``--shards K``) from stdin (or ``--script``) against one session;
 * ``repro-cli ssj <edge-list> --overlap C`` — run the set similarity join
   with a chosen method;
 * ``repro-cli scj <edge-list>`` — run the set containment join;
@@ -98,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_join_options(serve)
     serve.add_argument("--script", default=None,
                        help="file of serve commands (default: read stdin)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="serve from a sharded session with this many hash "
+                            "shards; append/delete then route as shard deltas "
+                            "(default: unsharded)")
+    serve.add_argument("--lazy-merge", type=int, default=4096,
+                       help="write-absorption threshold: appends/deletes below "
+                            "this many pending rows per shard buffer until the "
+                            "next read (default: 4096; 0 folds eagerly)")
 
     ssj = sub.add_parser("ssj", help="set similarity join over an edge list (set_id element)")
     ssj.add_argument("path")
@@ -271,7 +280,9 @@ def _run_shard(args: argparse.Namespace) -> int:
     return 0
 
 
-SERVE_COMMANDS = "two-path [counts] | star K | ssj C | scj | explain | stats | quit"
+SERVE_COMMANDS = ("two-path [counts] | star K | ssj C | scj | "
+                  "append x y [x y ...] | delete x y [x y ...] | "
+                  "explain | stats | quit")
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -284,9 +295,14 @@ def _run_serve(args: argparse.Namespace) -> int:
             lines = handle.read().splitlines()
     else:
         lines = sys.stdin
-    with QuerySession(config=config) as session:
-        session.register(relation, name="R")
-        print(f"serving R ({len(relation)} tuples) from {args.path}")
+    shards = max(int(getattr(args, "shards", 1)), 1)
+    with QuerySession(config=config, shards=shards,
+                      lazy_merge_rows=max(int(getattr(args, "lazy_merge", 4096)), 0),
+                      ) as session:
+        session.register(relation, name="R", sharded=shards > 1)
+        print(f"serving R ({len(relation)} tuples) from {args.path}"
+              + (f" across {session.sharding_spec.num_shards} shards"
+                 if shards > 1 else ""))
         print(f"commands: {SERVE_COMMANDS}")
         for raw in lines:
             line = raw.strip()
@@ -325,6 +341,15 @@ def _serve_command(session, line: str) -> bool:
             result = session.containment("R")
             print(f"scj: {len(result)} containment pairs in "
                   f"{result.timings.get('total', 0.0):.6f}s")
+        elif command in ("append", "delete"):
+            values = [int(part) for part in parts[1:]]
+            if not values or len(values) % 2:
+                print(f"usage: {command} x y [x y ...]")
+            else:
+                pairs = list(zip(values[0::2], values[1::2]))
+                getattr(session, command)("R", pairs)
+                print(f"{command}: {len(pairs)} rows -> R "
+                      f"(version {session.version('R')})")
         elif command == "explain":
             print(session.two_path("R", "R").explain())
         elif command == "stats":

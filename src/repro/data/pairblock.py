@@ -267,6 +267,15 @@ class PairBlock:
         mask = self._membership(other)
         return PairBlock(tuple(c[mask] for c in self.columns), deduped=self.deduped).dedup()
 
+    def union(self, other: "PairBlock") -> "PairBlock":
+        """Distinct rows present in either block (concat + dedup).
+
+        The append half of the delta algebra: folding appended rows into a
+        relation's block is one concatenation plus a packed-key unique, with
+        the result back in canonical (lexicographic) order.
+        """
+        return self.concat(other).dedup()
+
     # ------------------------------------------------------------------ #
     # Boundary conversion
     # ------------------------------------------------------------------ #

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Collection, Dict, Optional, Tuple
 
 
 def token_mentions(token: Any, name: str) -> bool:
@@ -58,6 +58,24 @@ def token_mentions_shard_update(token: Any, name: str, shard: int) -> bool:
         if len(token) == 4 and token[0] == "shard":
             return token[1] == name and token[2] == shard
         return any(token_mentions_shard_update(part, name, shard) for part in token)
+    return False
+
+
+def token_mentions_write(token: Any, name: str, shards: Collection[int]) -> bool:
+    """Whether a token is stale after a delta write touching ``shards``.
+
+    The multi-shard generalisation of :func:`token_mentions_shard_update`:
+    an append/delete batch hash-routes to several shards at once, and one
+    invalidation pass must cover all of them.  Touched-shard leaves and
+    whole-relation (``("rel", name, v)``) leaves match; sibling shards'
+    derived state stays warm.
+    """
+    if isinstance(token, tuple):
+        if len(token) == 3 and token[0] == "rel":
+            return token[1] == name
+        if len(token) == 4 and token[0] == "shard":
+            return token[1] == name and token[2] in shards
+        return any(token_mentions_write(part, name, shards) for part in token)
     return False
 
 
@@ -116,13 +134,18 @@ class ArtifactCache:
         """Insert (or replace) an entry, evicting LRU entries over budget."""
         nbytes = max(int(nbytes), 0)
         with self._lock:
-            if self.max_bytes is not None and nbytes > self.max_bytes:
-                # One artifact larger than the whole budget would immediately
-                # evict everything else and then itself; refuse instead.
-                return
             old = self._entries.pop(key, None)
             if old is not None:
                 self.current_bytes -= old[1]
+            if self.max_bytes is not None and nbytes > self.max_bytes:
+                # One artifact larger than the whole budget would immediately
+                # evict everything else and then itself; refuse instead.  The
+                # old entry under this key must still go: the caller computed
+                # a replacement, so the cached value is stale — leaving it
+                # would keep serving outdated hits.
+                if old is not None:
+                    self.evictions += 1
+                return
             self._entries[key] = (value, nbytes)
             self.current_bytes += nbytes
             if self.max_bytes is not None:
@@ -167,6 +190,18 @@ class ArtifactCache:
         """
         return self.invalidate_where(
             lambda key: token_mentions_shard_update(key, name, shard)
+        )
+
+    def invalidate_write(self, name: str, shards: Collection[int]) -> int:
+        """Drop artifacts stale after a delta write touching ``shards``.
+
+        One pass over the cache covers every shard an append/delete batch
+        routed rows to (plus whole-relation entries); untouched shards'
+        artifacts survive, which is what keeps warm serving warm across
+        small writes.
+        """
+        return self.invalidate_where(
+            lambda key: token_mentions_write(key, name, shards)
         )
 
     def invalidate_shards(self, name: str) -> int:

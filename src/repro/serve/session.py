@@ -43,7 +43,7 @@ import asyncio
 import itertools
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -74,6 +74,7 @@ from repro.serve.artifacts import (
     token_mentions,
     token_mentions_any_shard,
     token_mentions_shard_update,
+    token_mentions_write,
 )
 from repro.serve.feedback import CostFeedback
 from repro.shard.executor import execute_sharded
@@ -82,6 +83,10 @@ from repro.shard.sharded import ShardedRelation
 from repro.shard.spec import ShardingSpec
 
 HeadTuple = Tuple[int, ...]
+
+# Bound on the delta-lineage map (see SessionContext.record_delta_parent):
+# evicted entries only cost a full (still correct) re-merge on the next read.
+_DELTA_PARENT_CAP = 1024
 
 
 def config_signature(config: MMJoinConfig) -> Tuple[Any, ...]:
@@ -111,6 +116,7 @@ class SessionContext:
         self.artifacts = artifacts
         self._tokens: Dict[int, Tuple[Any, Relation]] = {}
         self._executors: Dict[int, ParallelExecutor] = {}
+        self._delta_parents: "OrderedDict[Any, Any]" = OrderedDict()
         self._lock = threading.RLock()
 
     # -- token bookkeeping -------------------------------------------------
@@ -157,6 +163,29 @@ class SessionContext:
                       if predicate(token)]
             for obj_id in doomed:
                 del self._tokens[obj_id]
+
+    # -- delta lineage -----------------------------------------------------
+    def record_delta_parent(self, child: Any, parent: Any) -> None:
+        """Remember that shard token ``child`` is ``parent`` plus appended rows.
+
+        The sharded executor walks this lineage backwards to *patch* a
+        cached merged result instead of re-merging every shard: appends are
+        monotone under set semantics, so the parent generation's merged
+        block unioned with the touched shards' fresh blocks is exactly the
+        child generation's result.  Only appends record lineage — deletes
+        break monotonicity and take the per-shard rebuild path.  Versioned
+        tokens are immutable snapshots, so an entry can never turn wrong;
+        the map is bounded FIFO purely to cap memory.
+        """
+        with self._lock:
+            self._delta_parents[child] = parent
+            while len(self._delta_parents) > _DELTA_PARENT_CAP:
+                self._delta_parents.popitem(last=False)
+
+    def delta_parent(self, token: Any) -> Optional[Any]:
+        """The recorded pre-append token for ``token`` (``None`` = no lineage)."""
+        with self._lock:
+            return self._delta_parents.get(token)
 
     # -- shared execution resources ---------------------------------------
     def executor(self, cores: int) -> ParallelExecutor:
@@ -235,6 +264,18 @@ class SessionResult:
         return text
 
 
+def _delta_rows(rows: Any) -> np.ndarray:
+    """Normalise a write's rows to an ``(n, 2)`` int64 array."""
+    if isinstance(rows, Relation):
+        return np.asarray(rows.data)
+    if not isinstance(rows, np.ndarray):
+        rows = np.asarray(list(rows), dtype=np.int64)
+    arr = np.asarray(rows, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    return arr.reshape(-1, 2)
+
+
 def _blocks_nbytes(value: Tuple[Optional[PairBlock], Optional[CountedPairBlock], Any]) -> int:
     block, counted, _ = value
     total = 0
@@ -285,6 +326,12 @@ class QuerySession:
         sharded serving pays only the cross-shard merge and
         :meth:`update_shard` recomputes exactly the mutated shard's block.
         Disable to force every subquery through its per-shard pipeline.
+    lazy_merge_rows:
+        Write-absorption threshold of the streaming path: an
+        :meth:`append` / :meth:`delete` delta whose target shard's total
+        pending rows stay within this bound is buffered on the shard as a
+        pending delta block and folded on the next read (or when a later
+        write trips the threshold).  ``0`` folds every write eagerly.
     """
 
     def __init__(
@@ -298,6 +345,7 @@ class QuerySession:
         shards: int = 1,
         heavy_key_factor: float = 0.5,
         shard_result_cache: bool = True,
+        lazy_merge_rows: int = 4096,
     ) -> None:
         self.config = config
         if registry is not None:
@@ -329,6 +377,7 @@ class QuerySession:
         self.shards = max(int(shards), 1)
         self.heavy_key_factor = float(heavy_key_factor)
         self.shard_result_cache = bool(shard_result_cache)
+        self.lazy_merge_rows = max(int(lazy_merge_rows), 0)
         self._sharded_names: Set[str] = set()
         self._sharded: Dict[str, ShardedRelation] = {}
         self._shard_versions: Dict[Tuple[str, int], int] = {}
@@ -506,9 +555,11 @@ class QuerySession:
             else:
                 # Keep array inputs columnar (no per-row Python objects);
                 # the constructor sorts/dedups either way.
-                if not isinstance(rows, np.ndarray):
-                    rows = np.asarray(list(rows), dtype=np.int64)
-                relation = Relation(rows.reshape(-1, 2), name=name)
+                relation = Relation(_delta_rows(rows), name=name)
+            if len(relation) == 0 and len(container.shard(shard)) == 0:
+                # Replacing an empty shard with no rows mutates nothing:
+                # skip the version bumps and the invalidation sweep.
+                return name
             stored = container.replace_shard(shard, relation)  # validates keys
             # Shard-scoped invalidation: the mutated shard's artifacts and
             # anything keyed on the whole relation (memo, unsharded
@@ -528,6 +579,110 @@ class QuerySession:
             self.context.bind(stored, ("shard", name, shard, shard_version))
             self._families.pop(name, None)
         return name
+
+    def append(self, name: str, rows: Any) -> str:
+        """Append ``rows`` to a registered relation as a routed delta.
+
+        ``rows`` is a :class:`Relation`, an ``(n, 2)`` array or an iterable
+        of ``(x, y)`` pairs.  For a sharded registration the delta is
+        hash-routed to its owning shards under the frozen spec: each
+        touched shard absorbs its slice as a pending delta block (folded
+        lazily within ``lazy_merge_rows``), only the touched shards'
+        tokens and artifacts are invalidated, and append lineage is
+        recorded so the next read can *patch* the cached merged result —
+        union the old merged block with the touched shards' fresh blocks —
+        instead of re-merging every shard.  Unsharded names fold the delta
+        into the base data and take the full-replace mutation path.  Empty
+        deltas short-circuit: no version bump, no invalidation.
+        """
+        return self._apply_write(name, rows, "+")
+
+    def delete(self, name: str, rows: Any, strict: bool = False) -> str:
+        """Delete ``rows`` from a registered relation as a routed delta.
+
+        Routing, shard-scoped invalidation and the empty-delta
+        short-circuit mirror :meth:`append`; deletes record no append
+        lineage (removals are not monotone), so the next read rebuilds
+        touched shards' blocks and re-merges.  Rows not present are
+        silently ignored by default — the delta algebra's difference makes
+        the delete idempotent; ``strict=True`` instead raises ``ValueError``
+        listing missing rows, before anything mutates (this check reads the
+        combined data, folding any pending deltas first).
+        """
+        return self._apply_write(name, rows, "-", strict=strict)
+
+    def _apply_write(self, name: str, rows: Any, op: str,
+                     strict: bool = False) -> str:
+        delta = _delta_rows(rows)
+        with self._lock:
+            if name not in self.catalog:
+                raise KeyError(f"cannot write to unregistered relation {name!r}")
+            if delta.shape[0] == 0:
+                return name  # no version bump, no invalidation
+            if op == "-" and strict:
+                current = PairBlock.from_array(
+                    np.asarray(self.catalog.get(name).data), deduped=True
+                )
+                missing = PairBlock.from_array(delta).difference(current)
+                if len(missing):
+                    raise ValueError(
+                        f"delete from {name!r}: {len(missing)} rows not "
+                        f"present, e.g. {missing.as_array()[:5].tolist()}"
+                    )
+            container = self._sharded.get(name)
+            if container is None:
+                return self._write_unsharded(name, delta, op)
+            owners = container.spec.shard_of_keys(
+                np.ascontiguousarray(delta[:, 1])
+            )
+            touched = frozenset(int(s) for s in np.unique(owners))
+            if op == "-":
+                # Every cache key embeds versioned tokens, so old-generation
+                # entries can never serve a new query — invalidation is
+                # memory hygiene.  Deletes sweep eagerly (their old entries
+                # are dead weight); appends deliberately keep the previous
+                # generation so the next read can patch the cached merged
+                # result through the recorded lineage, and let the LRU byte
+                # budget age retired generations out.
+                self.artifacts.invalidate_write(name, touched)
+                self.memo.invalidate_write(name, touched)
+            # Unbind BEFORE binding the new generation: the write predicate
+            # matches every version of a touched shard.
+            self.context.unbind_where(
+                lambda token: token_mentions_write(token, name, touched)
+            )
+            for shard in sorted(touched):
+                stored = container.apply_delta(
+                    shard, delta[owners == shard], op,
+                    lazy_rows=self.lazy_merge_rows,
+                )
+                shard_version = self._shard_versions.get((name, shard), -1) + 1
+                self._shard_versions[(name, shard)] = shard_version
+                self.context.bind(stored, ("shard", name, shard, shard_version))
+                if op == "+":
+                    self.context.record_delta_parent(
+                        ("shard", name, shard, shard_version),
+                        ("shard", name, shard, shard_version - 1),
+                    )
+            version = self._versions[name] + 1
+            self._versions[name] = version
+            base = container.combined()
+            self.catalog.add(base, name=name)
+            self.context.bind(base, ("rel", name, version))
+            self._families.pop(name, None)
+        return name
+
+    def _write_unsharded(self, name: str, delta: np.ndarray, op: str) -> str:
+        # No shard routing to exploit: fold the delta into the base data
+        # with the PairBlock algebra and take the ordinary full-replace
+        # mutation path (version bump + whole-relation invalidation).
+        current = PairBlock.from_array(
+            np.asarray(self.catalog.get(name).data), deduped=True
+        )
+        patch = PairBlock.from_array(delta)
+        block = current.union(patch) if op == "+" else current.difference(patch)
+        updated = Relation(block.as_array(), name=name, sorted_dedup=True)
+        return self.update(name, updated)
 
     def _resolve_sharded(self, relation: Any) -> Optional[Tuple[str, ShardedRelation]]:
         """Router callback: the sharded container behind a relation object.

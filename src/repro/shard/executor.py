@@ -11,13 +11,19 @@ is the unit of parallelism (it borrows the session's persistent
 inner plans never touch that pool, so the fan-out cannot deadlock the way
 nested ``map`` calls would.
 
-Three output-sensitive escapes sit in front of that pipeline:
+Four output-sensitive escapes sit in front of that pipeline:
 
 * **per-shard result cache** — when a session context is attached, every
   subquery's merged block is cached under its slices' shard tokens
   (``("shard", name, i, version)``), so a warm sharded query pays only the
   cross-shard merge and ``update_shard`` recomputes exactly the mutated
   shard's block while siblings re-serve theirs;
+* **merged-result patching** — after append-only writes, the session's
+  delta lineage maps each touched shard token back to its pre-append
+  parent; if the parent generation's ``("shard_merged", ...)`` entry is
+  still cached, the new merged result is that block unioned with the
+  touched shards' fresh blocks (appends are monotone under set semantics),
+  so untouched shards are not even re-read from the per-shard cache;
 * **heavy-shard rank-1 evaluation** — a heavy shard holds a single join
   key, so its two-path result is exactly the rectangle ``xs x zs`` of the
   key's neighbourhoods; it is emitted directly (in head-domain sub-blocks)
@@ -43,7 +49,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,6 +69,10 @@ SUB_BLOCK_PAIRS = 1 << 18
 # A heavy shard's full rectangle: the sorted distinct head values on each
 # side of its single join key.
 Rectangle = Tuple[np.ndarray, np.ndarray]
+
+# How many append generations the merged-result patch walks back looking
+# for a cached ancestor (several writes can land between two reads).
+_MAX_PATCH_DEPTH = 4
 
 
 @dataclass
@@ -346,6 +356,267 @@ def _heavy_outcome(sub: ShardSubquery, counting: bool,
 
 
 # --------------------------------------------------------------------------- #
+# Per-shard evaluation (cache -> rank-1 -> planner) over a subquery subset
+# --------------------------------------------------------------------------- #
+def _evaluate_subqueries(
+    indices: Iterable[int],
+    subqueries: Sequence[ShardSubquery],
+    shard_keys: Sequence[Optional[Any]],
+    counting: bool,
+    cache_ctx: Optional[Any],
+    planner_for: PlannerFactory,
+    shard_config: MMJoinConfig,
+    executor: Optional[Any],
+    parallel: bool,
+) -> Dict[int, _ShardOutcome]:
+    """Evaluate the subqueries at ``indices``; returns ``{index: outcome}``.
+
+    The full fan-out and the delta path share this helper: the main path
+    passes every index, the merged-result patch passes only the shards an
+    append touched.  Each index goes per-shard result cache -> heavy rank-1
+    rectangle -> planner pipeline, with fresh results cached under their
+    shard-token keys.
+    """
+    outcomes: Dict[int, _ShardOutcome] = {}
+
+    # ---- per-shard result cache: serve warm shards outright -------------- #
+    misses: List[Tuple[int, Any]] = []
+    for i in indices:
+        key = shard_keys[i]
+        if key is not None:
+            lookup_start = time.perf_counter()
+            found, value = cache_ctx.artifacts.lookup(key)
+            if found:
+                outcomes[i] = _cached_outcome(
+                    subqueries[i], value, time.perf_counter() - lookup_start
+                )
+                continue
+        misses.append((i, key))
+
+    # ---- heavy rank-1 shards: direct rectangle evaluation ---------------- #
+    planner_misses: List[Tuple[int, Any]] = []
+    heavy_misses: List[Tuple[int, Any, Rectangle]] = []
+    for i, key in misses:
+        sub = subqueries[i]
+        rect = _heavy_rectangle(sub) if sub.kind == "heavy" else None
+        if rect is not None:
+            heavy_misses.append((i, key, rect))
+        else:
+            planner_misses.append((i, key))
+
+    # Rectangles already present in the output (warm heavy shards) seed the
+    # containment skip; fresh rectangles are processed largest-first so a
+    # saturated dense core collapses onto a single emission.  The skip is
+    # closed over this call's outcome set only, so a reduced emission is
+    # always covered by rectangles that are themselves part of the output.
+    emitted_rects: List[Rectangle] = [
+        outcome.rect for outcome in outcomes.values()
+        if outcome.rect is not None
+    ]
+    heavy_misses.sort(key=lambda item: -(int(item[2][0].size) * int(item[2][1].size)))
+    for i, key, rect in heavy_misses:
+        sub = subqueries[i]
+        outcome, full = _heavy_outcome(sub, counting, emitted_rects, rect)
+        if outcome.rect is not None:
+            emitted_rects.append(outcome.rect)
+        if key is not None and full:
+            # Only a full emission is a pure function of this shard's slices
+            # (a reduced one depends on sibling rectangles) — cache it.
+            meta = {
+                "strategy": outcome.explanation.strategy,
+                "backend": outcome.explanation.backend,
+                "rect": rect,
+            }
+            cache_ctx.artifacts.put(
+                key, (outcome.block, outcome.counted, meta),
+                _outcome_nbytes(outcome),
+            )
+        outcomes[i] = outcome
+
+    # ---- everything else: the ordinary per-shard planner pipeline -------- #
+    def run_one(sub: ShardSubquery) -> PhysicalPlan:
+        plan = planner_for(shard_config).create_plan(sub.query, shard=sub.shard)
+        plan.execute()
+        return plan
+
+    pending = [subqueries[i] for i, _ in planner_misses]
+    if executor is not None and parallel and len(pending) > 1:
+        plans = executor.map(run_one, pending)
+    else:
+        plans = [run_one(sub) for sub in pending]
+    for (i, key), plan in zip(planner_misses, plans):
+        state = plan.state
+        outcome = _ShardOutcome(
+            block=state.result_block if state is not None else None,
+            counted=state.result_counted if state is not None else None,
+            explanation=plan.explain(),
+        )
+        if key is not None:
+            meta = {
+                "strategy": outcome.explanation.strategy,
+                "backend": outcome.explanation.backend,
+            }
+            cache_ctx.artifacts.put(
+                key, (outcome.block, outcome.counted, meta),
+                _outcome_nbytes(outcome),
+            )
+        outcomes[i] = outcome
+
+    return outcomes
+
+
+# --------------------------------------------------------------------------- #
+# Merged-result patching after append-only writes
+# --------------------------------------------------------------------------- #
+def _substitute_tokens(obj: Any, lookup: Callable[[Any], Optional[Any]]) -> Any:
+    """Replace every (sub)tuple that has recorded delta lineage by its parent.
+
+    One call walks the structure once, stepping each delta token back a
+    single generation; repeated calls walk further back.  Parents are
+    returned as-is (they are the older, already-canonical tokens).
+    """
+    if isinstance(obj, tuple):
+        parent = lookup(obj)
+        if parent is not None:
+            return parent
+        return tuple(_substitute_tokens(part, lookup) for part in obj)
+    return obj
+
+
+def _patched_merged_result(
+    routed: RoutedQuery,
+    shard_keys: Sequence[Optional[Any]],
+    merged_key: Any,
+    cache_ctx: Any,
+    planner_for: PlannerFactory,
+    shard_config: MMJoinConfig,
+    executor: Optional[Any],
+    parallel: bool,
+    start: float,
+) -> Optional[ShardedResult]:
+    """Patch an older cached merged result with touched shards' fresh blocks.
+
+    Append-only writes record token lineage (each new shard token -> its
+    pre-append parent) on the session context.  Walking the current shard
+    keys back through that lineage may land on a ``("shard_merged", ...)``
+    entry cached before the writes; appends are monotone under set
+    semantics, so that block unioned with the touched shards' *current*
+    blocks is exactly the new merged result — untouched shards contribute
+    through the parent block without being re-read.  Counting results are
+    not patchable (an append changes witness counts of pairs it does not
+    add) and deletes record no lineage; both fall back to the ordinary
+    per-shard path by returning ``None``, as does any lineage walk that
+    fails to reach a cached ancestor within ``_MAX_PATCH_DEPTH``.
+    """
+    lookup = getattr(cache_ctx, "delta_parent", None)
+    if lookup is None or any(key is None for key in shard_keys):
+        return None
+    parent_value = None
+    prev_keys = list(shard_keys)
+    for _ in range(_MAX_PATCH_DEPTH):
+        candidate = [_substitute_tokens(key, lookup) for key in prev_keys]
+        if candidate == prev_keys:
+            return None  # lineage exhausted without a cached ancestor
+        prev_keys = candidate
+        found, value = cache_ctx.artifacts.lookup(
+            ("shard_merged", tuple(prev_keys))
+        )
+        if found:
+            parent_value = value
+            break
+    if parent_value is None:
+        return None
+    parent_block, _parent_counted, backend, parent_reports = parent_value
+    if len(parent_reports) != len(routed.subqueries):
+        return None  # ancestor was stored for a different subquery shape
+    touched = [i for i, (new, old) in enumerate(zip(shard_keys, prev_keys))
+               if new != old]
+    outcomes = _evaluate_subqueries(
+        touched, routed.subqueries, shard_keys, False, cache_ctx,
+        planner_for, shard_config, executor, parallel,
+    )
+    fresh_blocks = [outcomes[i].block for i in touched
+                    if outcomes[i].block is not None]
+    merge_start = time.perf_counter()
+    merged_block = PairBlock.concat_all(
+        [parent_block] + fresh_blocks, arity=routed.arity
+    ).dedup()
+    merge_seconds = time.perf_counter() - merge_start
+
+    fresh_explanations = [outcomes[i].explanation for i in touched]
+    shard_reports: List[Dict[str, Any]] = []
+    for i, sub in enumerate(routed.subqueries):
+        if i in outcomes:
+            sub_exp = outcomes[i].explanation
+            shard_reports.append({
+                "shard": sub.shard,
+                "kind": sub.kind,
+                "input_tuples": sub.input_tuples,
+                "strategy": sub_exp.strategy,
+                "backend": sub_exp.backend,
+                "output_size": sub_exp.output_size,
+                "seconds": sub_exp.total_seconds,
+                "result_cached": any(
+                    op.operator == "shard_result_cache"
+                    for op in sub_exp.operators
+                ),
+                **_cache_counts(sub_exp),
+            })
+        else:
+            # Untouched shard: served entirely through the parent block.
+            shard_reports.append({
+                **parent_reports[i], "seconds": 0.0, "result_cached": True,
+                "cache_hits": 1, "cache_misses": 0,
+            })
+    explanation = PlanExplanation(
+        query_kind=routed.query.kind,
+        strategy="sharded",
+        backend=backend,
+        delta1=0,
+        delta2=0,
+        operators=[OperatorReport(
+            operator="shard_merged_patch",
+            status="ran",
+            actual_seconds=merge_seconds,
+            detail={"cache": "hit",
+                    "shards_patched": len(routed.subqueries) - len(touched),
+                    "shards_delta_executed": len(touched),
+                    "output_size": len(merged_block)},
+        )],
+        total_seconds=time.perf_counter() - start,
+        output_size=len(merged_block),
+        session_stats={
+            "shards_planned": routed.num_shards,
+            "shards_executed": len(routed.subqueries),
+            "shards_skipped_empty": routed.skipped_empty,
+            "shard_results_cached": sum(
+                1 for row in shard_reports if row.get("result_cached")
+            ),
+            "merged_result_patched": True,
+            "shards_delta_executed": len(touched),
+            "operator_cache_hits": 1 + sum(
+                _cache_counts(e)["cache_hits"] for e in fresh_explanations
+            ),
+            "operator_cache_misses": sum(
+                _cache_counts(e)["cache_misses"] for e in fresh_explanations
+            ),
+        },
+        shard_reports=shard_reports,
+    )
+    cache_ctx.artifacts.put(
+        merged_key,
+        (merged_block, None, backend, [dict(row) for row in shard_reports]),
+        merged_block.nbytes,
+    )
+    return ShardedResult(
+        result_block=merged_block,
+        result_counted=None,
+        explanation=explanation,
+        shard_explanations=fresh_explanations,
+    )
+
+
+# --------------------------------------------------------------------------- #
 # Sharded execution
 # --------------------------------------------------------------------------- #
 def execute_sharded(
@@ -381,8 +652,8 @@ def execute_sharded(
     shard_config = config.with_cores(1) if config.cores > 1 else config
     counting = routed.counting
     subqueries = routed.subqueries
-    outcomes: List[Optional[_ShardOutcome]] = [None] * len(subqueries)
     cache_ctx = context if result_cache else None
+    parallel = executor is not None and config.cores > 1
 
     # ---- merged-result cache: a fully-warm query skips even the merge ---- #
     shard_keys = [_result_key(cache_ctx, sub, counting, shard_config)
@@ -394,89 +665,20 @@ def execute_sharded(
             return _merged_cached_result(
                 routed, value, time.perf_counter() - start
             )
-
-    # ---- per-shard result cache: serve warm shards outright -------------- #
-    misses: List[Tuple[int, Any]] = []
-    for i, sub in enumerate(subqueries):
-        key = shard_keys[i]
-        if key is not None:
-            lookup_start = time.perf_counter()
-            found, value = cache_ctx.artifacts.lookup(key)
-            if found:
-                outcomes[i] = _cached_outcome(
-                    sub, value, time.perf_counter() - lookup_start
-                )
-                continue
-        misses.append((i, key))
-
-    # ---- heavy rank-1 shards: direct rectangle evaluation ---------------- #
-    planner_misses: List[Tuple[int, Any]] = []
-    heavy_misses: List[Tuple[int, Any, Rectangle]] = []
-    for i, key in misses:
-        sub = subqueries[i]
-        rect = _heavy_rectangle(sub) if sub.kind == "heavy" else None
-        if rect is not None:
-            heavy_misses.append((i, key, rect))
-        else:
-            planner_misses.append((i, key))
-
-    # Rectangles already present in the output (warm heavy shards) seed the
-    # containment skip; fresh rectangles are processed largest-first so a
-    # saturated dense core collapses onto a single emission.
-    emitted_rects: List[Rectangle] = [
-        outcome.rect for outcome in outcomes
-        if outcome is not None and outcome.rect is not None
-    ]
-    heavy_misses.sort(key=lambda item: -(int(item[2][0].size) * int(item[2][1].size)))
-    for i, key, rect in heavy_misses:
-        sub = subqueries[i]
-        outcome, full = _heavy_outcome(sub, counting, emitted_rects, rect)
-        if outcome.rect is not None:
-            emitted_rects.append(outcome.rect)
-        if key is not None and full:
-            # Only a full emission is a pure function of this shard's slices
-            # (a reduced one depends on sibling rectangles) — cache it.
-            meta = {
-                "strategy": outcome.explanation.strategy,
-                "backend": outcome.explanation.backend,
-                "rect": rect,
-            }
-            cache_ctx.artifacts.put(
-                key, (outcome.block, outcome.counted, meta),
-                _outcome_nbytes(outcome),
+        if not counting:
+            # ---- merged-result patching after append-only writes -------- #
+            patched = _patched_merged_result(
+                routed, shard_keys, merged_key, cache_ctx, planner_for,
+                shard_config, executor, parallel, start,
             )
-        outcomes[i] = outcome
+            if patched is not None:
+                return patched
 
-    # ---- everything else: the ordinary per-shard planner pipeline -------- #
-    def run_one(sub: ShardSubquery) -> PhysicalPlan:
-        plan = planner_for(shard_config).create_plan(sub.query, shard=sub.shard)
-        plan.execute()
-        return plan
-
-    pending = [subqueries[i] for i, _ in planner_misses]
-    if executor is not None and config.cores > 1 and len(pending) > 1:
-        plans = executor.map(run_one, pending)
-    else:
-        plans = [run_one(sub) for sub in pending]
-    for (i, key), plan in zip(planner_misses, plans):
-        state = plan.state
-        outcome = _ShardOutcome(
-            block=state.result_block if state is not None else None,
-            counted=state.result_counted if state is not None else None,
-            explanation=plan.explain(),
-        )
-        if key is not None:
-            meta = {
-                "strategy": outcome.explanation.strategy,
-                "backend": outcome.explanation.backend,
-            }
-            cache_ctx.artifacts.put(
-                key, (outcome.block, outcome.counted, meta),
-                _outcome_nbytes(outcome),
-            )
-        outcomes[i] = outcome
-
-    assert all(outcome is not None for outcome in outcomes)
+    outcome_map = _evaluate_subqueries(
+        range(len(subqueries)), subqueries, shard_keys, counting,
+        cache_ctx, planner_for, shard_config, executor, parallel,
+    )
+    outcomes = [outcome_map[i] for i in range(len(subqueries))]
 
     # ---- cross-shard merge (one concat + one packed-key unique) ---------- #
     merge_start = time.perf_counter()

@@ -428,3 +428,74 @@ class TestShardedAgreesWithUnsharded:
             session.register(rel, name="L", sharded=True)
             result = session.two_path("L", "L", use_memo=False)
         assert result.pairs == expected
+
+
+# --------------------------------------------------------------------------- #
+# Mixed writes: interleaved append / delete / update_shard vs recompute
+# --------------------------------------------------------------------------- #
+def _rel_from_rows(rows, name):
+    if rows:
+        data = np.array(sorted(rows), dtype=np.int64).reshape(-1, 2)
+    else:
+        data = np.empty((0, 2), dtype=np.int64)
+    return Relation(data, name=name)
+
+
+@pytest.mark.parametrize("shards", (1, 3))
+@pytest.mark.parametrize("warm", (False, True), ids=("cold", "warm"))
+class TestMixedWritesMatchOracle:
+    """Streaming writes against a maintained-row-set recompute oracle.
+
+    Every step applies one write (append with fresh rows, idempotent delete
+    including absent rows, or an ``update_shard`` replacement) to the
+    session *and* to a plain Python row set; the sharded session must agree
+    with a cold recompute over the oracle rows after each write (warm axis:
+    reads interleave with writes, so the merged-result patch and the cached
+    fallbacks are both exercised) or after the full sequence (cold axis).
+    A tiny lazy-merge threshold makes the sequence cross buffered *and*
+    folded write states.
+    """
+
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    @given(pair=relation_pairs(max_size=60))
+    def test_interleaved_writes_match_recompute(self, shards, warm, pair):
+        left, right = pair
+        with _sharded_session(left, right, shards) as session:
+            session.lazy_merge_rows = 4  # cross the buffered/folded boundary
+            if warm:
+                session.two_path("L", "R", use_memo=False)
+            rows = set(map(tuple, np.asarray(left.data).tolist()))
+            rng = np.random.default_rng(1 + len(rows))
+            plan = ("append", "delete", "append", "update_shard", "delete")
+            for step, op in enumerate(plan):
+                if op == "append":
+                    fresh = [(int(rng.integers(0, 70)), int(rng.integers(0, 50)))
+                             for _ in range(int(rng.integers(1, 7)))]
+                    session.append("L", fresh)
+                    rows |= set(fresh)
+                elif op == "delete":
+                    doomed = sorted(rows)[::3][:4]
+                    doomed.append((10**6, 10**6))  # absent row: no-op delete
+                    session.delete("L", doomed)
+                    rows -= set(doomed)
+                else:
+                    container = session.sharded("L")
+                    sizes = container.sizes()
+                    target = int(np.argmax(sizes))
+                    if sizes[target] == 0:
+                        continue
+                    shard_rows = set(map(tuple,
+                                         container.shard(target).data.tolist()))
+                    kept = np.array(container.shard(target).data[::2])
+                    session.update_shard("L", target, kept)
+                    rows = (rows - shard_rows) | set(map(tuple, kept.tolist()))
+                if warm:
+                    oracle = _rel_from_rows(rows, "L")
+                    served = session.two_path("L", "R", use_memo=False)
+                    assert served.pairs == combinatorial_two_path(oracle, right), \
+                        (op, step)
+            oracle = _rel_from_rows(rows, "L")
+            final = session.two_path("L", "R", use_memo=False)
+            counted = session.two_path("L", "R", counting=True, use_memo=False)
+        assert final.pairs == combinatorial_two_path(oracle, right)
+        assert counted.counts == hash_join_project_counts(oracle, right)

@@ -54,6 +54,18 @@ class TestArtifactCache:
         cache.put("a", "A2", nbytes=10)
         assert cache.current_bytes == 10
 
+    def test_oversized_replace_drops_stale_entry(self):
+        # Regression: the oversized refusal used to happen *before* the old
+        # entry under the key was popped, so a replace with a too-large
+        # rebuilt artifact left the stale old value serving hits.
+        cache = ArtifactCache(max_bytes=100)
+        cache.put("a", "old", nbytes=40)
+        cache.put("a", "rebuilt-too-big", nbytes=1000)
+        assert "a" not in cache
+        found, value = cache.lookup("a")
+        assert not found and value is None
+        assert cache.current_bytes == 0
+
     def test_invalidate_relation_matches_nested_tokens(self):
         cache = ArtifactCache()
         base = ("rel", "R", 0)
