@@ -1,0 +1,168 @@
+"""Microbenchmark: warm-serving overhead of always-on telemetry.
+
+The observability layer promises bounded overhead: every served query mints
+a trace, records plan/operator timing marks for deferred span
+materialisation and queues one metrics record — and warm serving (the
+latency-critical path the whole caching design exists for) must not notice.
+This benchmark times the same Zipf warm-serving workload through two
+sessions:
+
+* ``disabled`` — ``QuerySession(telemetry=False)``: the instrumentation
+  hooks still run but resolve to the shared null span / null registry;
+* ``enabled`` — default telemetry: real traces, real metric records, the
+  default 0.25 s slow-log threshold (never crossed by warm queries, so no
+  explain rendering — exactly the steady-state serving configuration).
+
+Warm serving bypasses the plan memo (``use_memo=False``) so every query
+walks the full instrumented pipeline against hot artifact caches — the
+worst case for relative overhead.
+
+**Estimator.**  The telemetry cost (a few µs) is far below this-box timing
+drift at any window scale (machine speed swings several percent over
+seconds), so window contrasts — including best-of-N — are dominated by
+which drift regime each mode's windows landed in.  The robust design pairs
+at the finest grain instead: queries alternate disabled/enabled one at a
+time (order swapping every pair, so linear drift cancels within the pair)
+and the headline is the **median of paired differences** — outlier pairs
+(GC, a metrics flush, scheduler preemption) fall out of the median.
+
+    ``telemetry_overhead_pct = 100 * median(enabled_i - disabled_i) / median(disabled_i)``
+    ``telemetry_warm_speedup = disabled_median / (disabled_median + median_diff)``
+
+recorded into ``BENCH_micro.json`` (the ``*_speedup`` key is covered by the
+CI regression gate) with the acceptance bar **<= 5 %** overhead asserted by
+``test_micro_telemetry_overhead.py``.  Set ``REPRO_BENCH_QUICK=1`` for the
+CI smoke mode (smaller workload, ``quick_mode: true`` — skipped by the
+gate).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # script usage: python benchmarks/micro_telemetry_overhead.py
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import MMJoinConfig
+from repro.data import generators
+from repro.serve import QuerySession
+
+RESULTS_PATH = Path(__file__).parent / "results" / "micro_telemetry_overhead.txt"
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0") or "0"))
+
+N_TUPLES = 10_000 if QUICK else 100_000
+X_DOMAIN = 100
+Y_DOMAIN = 300
+SKEW = 1.1
+
+# Fixed thresholds + dense backend: the warm loop runs the full pipeline
+# (semijoin, partition, heavy matmul with extraction) from hot caches.
+CONFIG = MMJoinConfig(delta1=8, delta2=8, matrix_backend="dense")
+
+PAIRS = 100 if QUICK else 600        # alternating disabled/enabled query pairs
+WARMUPS = 3                          # unmeasured queries after the cold run
+
+
+def _session(telemetry) -> QuerySession:
+    relation = generators.zipf_bipartite(N_TUPLES, X_DOMAIN, Y_DOMAIN,
+                                         skew=SKEW, seed=11, name="R")
+    session = QuerySession(config=CONFIG, telemetry=telemetry)
+    session.register(relation, name="R")
+    for _ in range(1 + WARMUPS):     # cold run + warmups: caches go hot
+        session.two_path("R", "R", use_memo=False)
+    return session
+
+
+def run_rows() -> List[Dict[str, object]]:
+    """Paired alternating warm queries; per-mode times plus paired diffs."""
+    sessions = {"disabled": _session(False), "enabled": _session(True)}
+    clock = time.perf_counter
+    times: Dict[str, List[float]] = {"disabled": [], "enabled": []}
+    diffs: List[float] = []
+    outputs = {}
+    try:
+        def one(mode: str) -> float:
+            session = sessions[mode]
+            start = clock()
+            session.two_path("R", "R", use_memo=False)
+            elapsed = clock() - start
+            times[mode].append(elapsed)
+            return elapsed
+
+        for pair in range(PAIRS):
+            if pair % 2 == 0:        # swap order every pair: drift cancels
+                disabled = one("disabled")
+                enabled = one("enabled")
+            else:
+                enabled = one("enabled")
+                disabled = one("disabled")
+            diffs.append(enabled - disabled)
+        for mode, session in sessions.items():
+            outputs[mode] = session.two_path("R", "R", use_memo=False).output_size
+    finally:
+        for session in sessions.values():
+            session.close()
+    assert outputs["disabled"] == outputs["enabled"], \
+        "telemetry changed the served result"
+    rows = []
+    for mode in ("disabled", "enabled"):
+        per_query = times[mode]
+        rows.append({
+            "telemetry": mode,
+            "tuples": N_TUPLES,
+            "paired_queries": PAIRS,
+            "seconds": round(sum(per_query), 6),
+            "ms_per_query": round(1_000.0 * statistics.median(per_query), 4),
+            "output_pairs": outputs[mode],
+        })
+    # Thread the paired differences through to headline_metrics via the rows
+    # (the pairing is the estimator; per-mode medians alone would reintroduce
+    # the drift sensitivity this design exists to kill).
+    rows[0]["_paired_diff_median"] = statistics.median(diffs)
+    return rows
+
+
+def headline_metrics(rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """The BENCH_micro.json entry: warm-serving cost of enabled telemetry."""
+    by_mode = {row["telemetry"]: row for row in rows}
+    base = float(by_mode["disabled"]["ms_per_query"]) / 1_000.0
+    diff = float(by_mode["disabled"].get("_paired_diff_median", 0.0))
+    enabled = base + diff
+    return {
+        "telemetry_warm_speedup": round(base / enabled, 4) if enabled > 0 else 1.0,
+        "telemetry_overhead_pct": round(100.0 * diff / base, 2),
+        "disabled_ms_per_query": round(1_000.0 * base, 4),
+        "enabled_ms_per_query": round(1_000.0 * enabled, 4),
+        "paired_queries": PAIRS,
+        "quick_mode": QUICK,
+    }
+
+
+def main() -> None:
+    from repro.bench.report import format_table, record_bench_json
+
+    rows = run_rows()
+    metrics = headline_metrics(rows)
+    table_rows = [
+        {k: v for k, v in row.items() if not k.startswith("_")} for row in rows
+    ]
+    text = format_table(
+        table_rows,
+        title="Microbenchmark: warm serving with telemetry disabled vs enabled",
+    )
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"telemetry_overhead_pct: {metrics['telemetry_overhead_pct']}%")
+    record_bench_json("micro_telemetry_overhead", metrics, RESULTS_PATH.parent)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Eight subcommands cover the common workflows without writing any Python:
+Ten subcommands cover the common workflows without writing any Python:
 
 * ``repro-cli join <edge-list>`` — evaluate the 2-path join-project over an
   edge-list file (with ``--engine`` choosing any registered query engine,
@@ -17,7 +17,13 @@ Eight subcommands cover the common workflows without writing any Python:
   timings, cache-hit counters and the estimated-vs-actual cost feedback;
 * ``repro-cli serve <edge-list>`` — a long-lived serving loop reading query
   and write commands (``append`` / ``delete`` route as shard deltas under
-  ``--shards K``) from stdin (or ``--script``) against one session;
+  ``--shards K``) from stdin (or ``--script``) against one session; the loop
+  also answers ``metrics`` / ``trace <id>`` and prints a one-line metrics
+  summary on exit;
+* ``repro-cli metrics <edge-list>`` — run a small cold/warm/memo workload and
+  export the session's metrics registry (Prometheus text or JSON);
+* ``repro-cli trace <edge-list>`` — run the same workload with every query
+  recorded and print one query's span tree (slow-query forensics);
 * ``repro-cli ssj <edge-list> --overlap C`` — run the set similarity join
   with a chosen method;
 * ``repro-cli scj <edge-list>`` — run the set containment join;
@@ -107,6 +113,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write-absorption threshold: appends/deletes below "
                             "this many pending rows per shard buffer until the "
                             "next read (default: 4096; 0 folds eagerly)")
+    serve.add_argument("--slow-ms", type=float, default=0.0,
+                       help="slow-query-log threshold in milliseconds "
+                            "(default: 0 — record every query, so `trace <id>` "
+                            "can replay any of them)")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a cold/warm/memo workload and export session metrics",
+    )
+    _add_join_options(metrics)
+    metrics.add_argument("--shards", type=int, default=1,
+                         help="serve from a sharded session with this many "
+                              "hash shards (default: unsharded)")
+    metrics.add_argument("--repeat", type=int, default=2,
+                         help="number of warm re-evaluations after the cold run")
+    metrics.add_argument("--format", choices=["prometheus", "json"],
+                         default="prometheus",
+                         help="exposition format (default: prometheus)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced workload and print one query's span tree",
+    )
+    _add_join_options(trace)
+    trace.add_argument("--shards", type=int, default=1,
+                       help="serve from a sharded session with this many "
+                            "hash shards (default: unsharded)")
+    trace.add_argument("--repeat", type=int, default=1,
+                       help="number of warm re-evaluations after the cold run")
+    trace.add_argument("--id", default=None,
+                       help="trace id to print (default: the slowest recorded "
+                            "query)")
 
     ssj = sub.add_parser("ssj", help="set similarity join over an edge list (set_id element)")
     ssj.add_argument("path")
@@ -282,11 +320,11 @@ def _run_shard(args: argparse.Namespace) -> int:
 
 SERVE_COMMANDS = ("two-path [counts] | star K | ssj C | scj | "
                   "append x y [x y ...] | delete x y [x y ...] | "
-                  "explain | stats | quit")
+                  "explain | stats | metrics [prom|json] | trace [id] | quit")
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    from repro.serve import QuerySession
+    from repro.serve import QuerySession, TelemetryConfig
 
     relation = load_edge_list(args.path)
     config = _config_from_args(args)
@@ -296,8 +334,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     else:
         lines = sys.stdin
     shards = max(int(getattr(args, "shards", 1)), 1)
+    telemetry = TelemetryConfig(
+        slow_query_seconds=max(float(getattr(args, "slow_ms", 0.0)), 0.0) / 1000.0
+    )
     with QuerySession(config=config, shards=shards,
                       lazy_merge_rows=max(int(getattr(args, "lazy_merge", 4096)), 0),
+                      telemetry=telemetry,
                       ) as session:
         session.register(relation, name="R", sharded=shards > 1)
         print(f"serving R ({len(relation)} tuples) from {args.path}"
@@ -310,7 +352,37 @@ def _run_serve(args: argparse.Namespace) -> int:
                 continue
             if _serve_command(session, line) is False:
                 break
+        print(_metrics_summary(session))
     return 0
+
+
+def _metrics_summary(session) -> str:
+    """One-line session metrics digest (printed when the serve loop exits)."""
+    snapshot = session.metrics()
+    queries = snapshot.families.get("repro_queries_total")
+    total = 0
+    by_path: dict = {}
+    if queries is not None:
+        for labels, value in queries["series"].items():
+            total += int(value)
+            path = dict(labels).get("path", "?")
+            by_path[path] = by_path.get(path, 0) + int(value)
+    latency = snapshot.families.get("repro_query_seconds")
+    seconds = count = 0
+    if latency is not None:
+        for series in latency["series"].values():
+            seconds += series["sum"]
+            count += series["count"]
+    writes = snapshot.families.get("repro_writes_total")
+    n_writes = 0
+    if writes is not None:
+        n_writes = int(sum(writes["series"].values()))
+    hit_ratio = snapshot.value("repro_cache_hit_ratio", cache="artifacts", kind="all")
+    paths = "/".join(f"{path}:{by_path[path]}" for path in sorted(by_path)) or "none"
+    mean_ms = (seconds / count * 1e3) if count else 0.0
+    return (f"metrics: {total} queries ({paths}), mean {mean_ms:.3f} ms, "
+            f"artifact hit ratio {hit_ratio:.2f}, {n_writes} writes, "
+            f"{len(session.telemetry.slow_log)} slow-log entries")
 
 
 def _serve_command(session, line: str) -> bool:
@@ -355,11 +427,86 @@ def _serve_command(session, line: str) -> bool:
         elif command == "stats":
             for key, value in session.cache_stats().items():
                 print(f"{key}: {value}")
+        elif command == "metrics":
+            mode = parts[1].lower() if len(parts) > 1 else "summary"
+            if mode in ("prom", "prometheus"):
+                print(session.metrics().to_prometheus(), end="")
+            elif mode == "json":
+                print(session.metrics().to_json())
+            else:
+                print(_metrics_summary(session))
+        elif command == "trace":
+            log = session.telemetry.slow_log
+            if len(parts) > 1:
+                entry = log.get(parts[1])
+            else:
+                entries = log.entries()
+                entry = entries[-1] if entries else None
+            if entry is None:
+                recorded = ", ".join(e.trace_id for e in log.entries()) or "none"
+                print(f"no such trace (recorded: {recorded})")
+            else:
+                print(entry.format())
         else:
             print(f"unknown command: {line} (expected {SERVE_COMMANDS})")
     except Exception as exc:  # serving loop must survive bad commands
         print(f"error: {exc}")
     return True
+
+
+def _serve_sample_workload(session, repeat: int) -> None:
+    """Cold, warm and memo-served runs — populates every serving-path label."""
+    session.two_path("R", "R", use_memo=False)           # cold
+    for _ in range(max(int(repeat), 1)):
+        session.two_path("R", "R", use_memo=False)       # warm (artifact hits)
+    session.two_path("R", "R", use_memo=True)            # memo miss -> stored
+    session.two_path("R", "R", use_memo=True)            # memo hit
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    from repro.serve import QuerySession
+
+    relation = load_edge_list(args.path)
+    config = _config_from_args(args)
+    shards = max(int(args.shards), 1)
+    with QuerySession(config=config, shards=shards) as session:
+        session.register(relation, name="R", sharded=shards > 1)
+        _serve_sample_workload(session, args.repeat)
+        snapshot = session.metrics()
+        if args.format == "json":
+            print(snapshot.to_json())
+        else:
+            print(snapshot.to_prometheus(), end="")
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.serve import QuerySession, TelemetryConfig
+
+    relation = load_edge_list(args.path)
+    config = _config_from_args(args)
+    shards = max(int(args.shards), 1)
+    # Threshold 0: every query lands in the slow log, so any trace id from
+    # the workload can be replayed.
+    telemetry = TelemetryConfig(slow_query_seconds=0.0)
+    with QuerySession(config=config, shards=shards, telemetry=telemetry) as session:
+        session.register(relation, name="R", sharded=shards > 1)
+        _serve_sample_workload(session, args.repeat)
+        log = session.telemetry.slow_log
+        entries = log.entries()
+        if args.id is not None:
+            entry = log.get(args.id)
+            if entry is None:
+                recorded = ", ".join(e.trace_id for e in entries) or "none"
+                print(f"no such trace: {args.id} (recorded: {recorded})")
+                return 1
+        else:
+            entry = max(entries, key=lambda e: e.seconds)
+        others = ", ".join(e.trace_id for e in entries if e is not entry)
+        print(entry.format())
+        if others:
+            print(f"(other recorded traces: {others})")
+    return 0
 
 
 def _run_ssj(args: argparse.Namespace) -> int:
@@ -406,6 +553,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "session": _run_session,
         "shard": _run_shard,
         "serve": _run_serve,
+        "metrics": _run_metrics,
+        "trace": _run_trace,
         "ssj": _run_ssj,
         "scj": _run_scj,
         "datasets": _run_datasets,

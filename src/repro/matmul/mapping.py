@@ -142,6 +142,19 @@ def mapped_nonzero_coords(
     come back in core-first order, not row-major: every consumer feeds them
     into born-deduplicated blocks, where order is irrelevant.
     """
+    return _mapped_nonzero_coords(
+        product, mapping, threshold, tile_rows, stats, want_values
+    )
+
+
+def _mapped_nonzero_coords(
+    product: np.ndarray,
+    mapping: DenseCoreMapping,
+    threshold: float = 0.5,
+    tile_rows: Optional[int] = None,
+    stats: Optional[Dict[str, object]] = None,
+    want_values: bool = False,
+):
     record = stats is not None
     start = time.perf_counter() if record else 0.0
     arr = np.asarray(product)

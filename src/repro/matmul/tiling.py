@@ -231,6 +231,21 @@ def tiled_nonzero_coords(
     the planner's output-density estimate, used by the auto policy to skip
     screening on products predicted dense up front.
     """
+    return _tiled_nonzero_coords(
+        product, threshold, tile_rows, stats, want_values, mode,
+        density_hint,
+    )
+
+
+def _tiled_nonzero_coords(
+    product: np.ndarray,
+    threshold: float = 0.5,
+    tile_rows: Optional[int] = None,
+    stats: Optional[Dict[str, object]] = None,
+    want_values: bool = False,
+    mode: Optional[str] = None,
+    density_hint: Optional[float] = None,
+):
     record = stats is not None
     start = time.perf_counter() if record else 0.0
     arr = np.asarray(product)

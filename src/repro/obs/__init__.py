@@ -1,0 +1,46 @@
+"""Observability substrate: structured tracing, metrics, slow-query log.
+
+Three pieces, designed to be always-on with bounded overhead:
+
+* :mod:`repro.obs.trace` — per-call span trees; instrumented layers call
+  the module-level :func:`span` hook, which degrades to a shared no-op
+  when no trace is active on the thread;
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
+  with snapshot + delta APIs and JSON / Prometheus-text exporters;
+* :mod:`repro.obs.slowlog` — a ring buffer of full span trees (+ explain)
+  for queries over a configurable threshold.
+
+:class:`Telemetry` bundles them per session; ``QuerySession(telemetry=...)``
+is the user-facing knob.
+"""
+
+from .metrics import (
+    BYTES_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetrics,
+)
+from .slowlog import SlowQueryEntry, SlowQueryLog
+from .telemetry import DISABLED, Telemetry, TelemetryConfig
+from .trace import NULL_SPAN, Span, Trace, activate, annotate, current_trace, span
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullMetrics",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "DISABLED",
+    "Telemetry",
+    "TelemetryConfig",
+    "NULL_SPAN",
+    "Span",
+    "Trace",
+    "activate",
+    "annotate",
+    "current_trace",
+    "span",
+]

@@ -1,0 +1,356 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms, exporters.
+
+The registry is deliberately small and allocation-light.  Series are keyed
+by ``(metric name, sorted label tuple)``; the hot-path operations
+(``Counter.inc``, ``Histogram.observe``) take one per-series lock and touch
+a handful of ints.  Heavier work — label sorting for *new* series, snapshot
+assembly, JSON / Prometheus rendering — happens only on the pull path
+(``session.metrics()`` / exporters).
+
+Two snapshot layers sit on top:
+
+* :meth:`MetricsRegistry.snapshot` freezes every series into a plain-dict
+  :class:`MetricsSnapshot`;
+* :meth:`MetricsSnapshot.delta` subtracts an earlier snapshot (counters and
+  histogram buckets subtract; gauges keep the later value), which is what
+  tests and capacity dashboards want: "what did this batch of queries do".
+
+:class:`NullMetrics` mirrors the registry API with shared no-op objects so
+disabled-telemetry code paths can call ``metrics.inc(...)`` unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+LabelTuple = Tuple[Tuple[str, str], ...]
+
+# Default bucket ladders: query latency (seconds) and byte sizes.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+BYTES_BUCKETS: Tuple[float, ...] = tuple(
+    float(1 << p) for p in (10, 12, 14, 16, 18, 20, 22, 24, 26, 28)
+)
+
+
+def _label_tuple(labels: Dict[str, Any]) -> LabelTuple:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (float assignment is atomic)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count.
+
+    ``counts[i]`` holds observations with ``value <= bounds[i]``;
+    ``counts[-1]`` is the +Inf overflow bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count", "_lock")
+
+    def __init__(self, bounds: Iterable[float]) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in bounds))
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+
+_KIND_COUNTER = "counter"
+_KIND_GAUGE = "gauge"
+_KIND_HISTOGRAM = "histogram"
+
+
+class MetricsRegistry:
+    """Named families of labelled counter/gauge/histogram series."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> (kind, help, {label_tuple: series})
+        self._families: Dict[str, Tuple[str, str, Dict[LabelTuple, Any]]] = {}
+
+    # -- series access ------------------------------------------------------ #
+    def _series(self, name: str, kind: str, help_text: str,
+                labels: Dict[str, Any], factory) -> Any:
+        key = _label_tuple(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, help_text, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family[0]}, not {kind}"
+                )
+            series = family[2].get(key)
+            if series is None:
+                series = factory()
+                family[2][key] = series
+            return series
+
+    def counter(self, name: str, help_text: str = "", **labels: Any) -> Counter:
+        return self._series(name, _KIND_COUNTER, help_text, labels, Counter)
+
+    def gauge(self, name: str, help_text: str = "", **labels: Any) -> Gauge:
+        return self._series(name, _KIND_GAUGE, help_text, labels, Gauge)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Iterable[float] = LATENCY_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return self._series(name, _KIND_HISTOGRAM, help_text, labels,
+                            lambda: Histogram(buckets))
+
+    # -- hot-path conveniences ---------------------------------------------- #
+    def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float,
+                buckets: Iterable[float] = LATENCY_BUCKETS, **labels: Any) -> None:
+        self.histogram(name, buckets=buckets, **labels).observe(value)
+
+    # -- snapshotting -------------------------------------------------------- #
+    def snapshot(self) -> "MetricsSnapshot":
+        families: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            items = [
+                (name, kind, help_text, dict(series))
+                for name, (kind, help_text, series) in self._families.items()
+            ]
+        for name, kind, help_text, series_map in items:
+            series_out: Dict[LabelTuple, Any] = {}
+            for key, series in series_map.items():
+                if kind == _KIND_COUNTER:
+                    series_out[key] = series.value
+                elif kind == _KIND_GAUGE:
+                    series_out[key] = series.value
+                else:
+                    with series._lock:
+                        series_out[key] = {
+                            "bounds": series.bounds,
+                            "counts": list(series.counts),
+                            "sum": series.sum,
+                            "count": series.count,
+                        }
+            families[name] = {"kind": kind, "help": help_text, "series": series_out}
+        return MetricsSnapshot(families)
+
+
+class MetricsSnapshot:
+    """A frozen copy of every series, with delta arithmetic and exporters."""
+
+    def __init__(self, families: Dict[str, Dict[str, Any]]) -> None:
+        self.families = families
+
+    # -- reading ------------------------------------------------------------ #
+    def value(self, name: str, default: float = 0.0, **labels: Any) -> float:
+        """Counter/gauge value for one series (histograms: use ``histogram``)."""
+        family = self.families.get(name)
+        if family is None:
+            return default
+        got = family["series"].get(_label_tuple(labels))
+        if got is None or isinstance(got, dict):
+            return default
+        return got
+
+    def histogram(self, name: str, **labels: Any) -> Optional[Dict[str, Any]]:
+        family = self.families.get(name)
+        if family is None:
+            return None
+        got = family["series"].get(_label_tuple(labels))
+        return got if isinstance(got, dict) else None
+
+    def names(self) -> List[str]:
+        return sorted(self.families)
+
+    # -- delta --------------------------------------------------------------- #
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """This snapshot minus ``earlier`` (gauges keep this snapshot's value)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, family in self.families.items():
+            prev_family = earlier.families.get(name)
+            prev_series = prev_family["series"] if prev_family else {}
+            series_out: Dict[LabelTuple, Any] = {}
+            for key, value in family["series"].items():
+                prev = prev_series.get(key)
+                if family["kind"] == _KIND_GAUGE or prev is None:
+                    series_out[key] = value
+                elif isinstance(value, dict):
+                    series_out[key] = {
+                        "bounds": value["bounds"],
+                        "counts": [a - b for a, b in
+                                   zip(value["counts"], prev["counts"])],
+                        "sum": value["sum"] - prev["sum"],
+                        "count": value["count"] - prev["count"],
+                    }
+                else:
+                    series_out[key] = value - prev
+            out[name] = {"kind": family["kind"], "help": family["help"],
+                         "series": series_out}
+        return MetricsSnapshot(out)
+
+    # -- exporters ------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-JSON structure (labels flattened to ``k=v,...`` strings)."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self.families):
+            family = self.families[name]
+            series_out: Dict[str, Any] = {}
+            for key in sorted(family["series"]):
+                label_str = ",".join(f"{k}={v}" for k, v in key)
+                value = family["series"][key]
+                if isinstance(value, dict):
+                    series_out[label_str] = {
+                        "buckets": {str(b): c for b, c in
+                                    zip(value["bounds"], value["counts"])},
+                        "overflow": value["counts"][-1],
+                        "sum": value["sum"],
+                        "count": value["count"],
+                    }
+                else:
+                    series_out[label_str] = value
+            out[name] = {"kind": family["kind"], "series": series_out}
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self.families):
+            family = self.families[name]
+            kind = family["kind"]
+            if family["help"]:
+                lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {kind}")
+            for key in sorted(family["series"]):
+                value = family["series"][key]
+                if kind == _KIND_HISTOGRAM:
+                    cumulative = 0
+                    for bound, count in zip(value["bounds"], value["counts"]):
+                        cumulative += count
+                        lines.append(
+                            f"{name}_bucket{{{_prom_labels(key, le=_prom_float(bound))}}}"
+                            f" {cumulative}"
+                        )
+                    cumulative += value["counts"][-1]
+                    lines.append(
+                        f"{name}_bucket{{{_prom_labels(key, le='+Inf')}}} {cumulative}"
+                    )
+                    suffix = _prom_labels(key)
+                    braces = f"{{{suffix}}}" if suffix else ""
+                    lines.append(f"{name}_sum{braces} {_prom_float(value['sum'])}")
+                    lines.append(f"{name}_count{braces} {value['count']}")
+                else:
+                    suffix = _prom_labels(key)
+                    braces = f"{{{suffix}}}" if suffix else ""
+                    lines.append(f"{name}{braces} {_prom_float(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _prom_float(value: float) -> str:
+    """Render a float the way Prometheus likes (ints without trailing .0)."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_labels(key: LabelTuple, **extra: str) -> str:
+    parts = [f'{k}="{_prom_escape(v)}"' for k, v in key]
+    parts.extend(f'{k}="{_prom_escape(v)}"' for k, v in extra.items())
+    return ",".join(parts)
+
+
+class _NullMetric:
+    """Shared object absorbing every counter/gauge/histogram call."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+_EMPTY_SNAPSHOT = MetricsSnapshot({})
+
+
+class NullMetrics:
+    """Registry stand-in for disabled telemetry: every call is a no-op."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, help_text: str = "", **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help_text: str = "", **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Iterable[float] = LATENCY_BUCKETS,
+                  **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float,
+                buckets: Iterable[float] = LATENCY_BUCKETS, **labels: Any) -> None:
+        pass
+
+    def snapshot(self) -> MetricsSnapshot:
+        return _EMPTY_SNAPSHOT

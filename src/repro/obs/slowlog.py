@@ -1,0 +1,89 @@
+"""Slow-query forensics: a bounded ring buffer of full span trees.
+
+Queries whose wall time crosses the configured threshold get their complete
+trace (span tree, attributes, explain text) parked here; ``repro-cli trace
+<id>`` and the serve loop's ``trace`` command replay them.  The buffer is a
+``deque(maxlen=...)`` — old entries fall off, memory stays bounded no matter
+how long the session runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from .trace import Trace
+
+
+class SlowQueryEntry:
+    """One recorded slow query: the trace plus context captured at record time."""
+
+    __slots__ = ("trace", "kind", "path", "seconds", "explain_text", "detail")
+
+    def __init__(self, trace: Trace, kind: str, path: str, seconds: float,
+                 explain_text: str = "", detail: Optional[Dict[str, Any]] = None) -> None:
+        self.trace = trace
+        self.kind = kind
+        self.path = path
+        self.seconds = seconds
+        self.explain_text = explain_text
+        self.detail = detail or {}
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace.trace_id,
+            "kind": self.kind,
+            "path": self.path,
+            "seconds": round(self.seconds, 9),
+            "spans": self.trace.root.to_dict(),
+            "explain": self.explain_text,
+            "detail": dict(self.detail),
+        }
+
+    def format(self) -> str:
+        header = (f"slow query {self.trace.trace_id}: kind={self.kind} "
+                  f"path={self.path} seconds={self.seconds:.6f}")
+        body = self.trace.root.format(indent=1)
+        parts = [header, body]
+        if self.explain_text:
+            parts.append("explain:")
+            parts.extend("  " + line for line in self.explain_text.splitlines())
+        return "\n".join(parts)
+
+
+class SlowQueryLog:
+    """Thread-safe ring buffer of :class:`SlowQueryEntry` records."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = int(capacity)
+        self._entries: "deque[SlowQueryEntry]" = deque(maxlen=max(self.capacity, 1))
+        self._lock = threading.Lock()
+
+    def record(self, entry: SlowQueryEntry) -> None:
+        with self._lock:
+            self._entries.append(entry)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entries(self) -> List[SlowQueryEntry]:
+        """Newest last."""
+        with self._lock:
+            return list(self._entries)
+
+    def get(self, trace_id: str) -> Optional[SlowQueryEntry]:
+        with self._lock:
+            for entry in reversed(self._entries):
+                if entry.trace.trace_id == trace_id:
+                    return entry
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

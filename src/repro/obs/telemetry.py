@@ -1,0 +1,243 @@
+"""The telemetry facade a :class:`QuerySession` owns.
+
+``QuerySession(telemetry=...)`` accepts ``True``/``False``/``None``, a
+:class:`TelemetryConfig`, or a prebuilt :class:`Telemetry` (so several
+sessions can share one registry); :meth:`Telemetry.coerce` normalises all
+of them.  The facade bundles the three tentpole pieces:
+
+* :meth:`start` mints a :class:`~repro.obs.trace.Trace` per served call
+  (``None`` when disabled — callers skip straight to the untraced body);
+* ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry`, or the
+  shared :class:`~repro.obs.metrics.NullMetrics` when disabled, so
+  instrumentation records unconditionally;
+* :meth:`observe_query` / :meth:`observe_write` fold one finished call into
+  the registry (latency by kind × path, extraction peak bytes, per-shard
+  subplan seconds and skew, write absorption outcomes) and park slow
+  queries in the :class:`~repro.obs.slowlog.SlowQueryLog` ring buffer —
+  explain text is rendered *only* for queries crossing the threshold.
+
+Query folding is *deferred*, like span materialisation: the serving hot
+path appends one pending record per query, and the registry/slow-log work
+(series lookups, histogram bisects, the extraction-peak scan over operator
+details, warm/cold classification) runs on first read — the ``metrics`` and
+``slow_log`` properties flush before returning — or when the pending buffer
+hits its cap.  A burst of warm queries nobody is watching pays one list
+append each; the scrape that eventually looks folds them all at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from .metrics import BYTES_BUCKETS, MetricsRegistry, NullMetrics
+from .slowlog import SlowQueryEntry, SlowQueryLog
+from .trace import Trace
+
+# Shared no-op registry for every disabled Telemetry instance.
+_NULL_METRICS = NullMetrics()
+
+# Deferred-fold buffer cap: a flush triggers once this many queries are
+# pending, bounding both memory (pending records keep their explanations
+# alive) and the latency spike any single flush can cause.
+_PENDING_CAP = 256
+
+
+def serving_path(explanation: Any) -> str:
+    """Label a fresh execution ``warm`` (all operator caches hit) or ``cold``."""
+    if explanation is None:
+        return "cold"
+    stats = explanation.session_stats
+    hits = int(stats.get("operator_cache_hits", 0))
+    misses = int(stats.get("operator_cache_misses", 0))
+    return "warm" if hits > 0 and misses == 0 else "cold"
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Knobs for a session's telemetry.
+
+    ``slow_query_seconds`` is the slow-log threshold (0 records every
+    query — handy for forensics demos); ``slow_log_capacity`` bounds the
+    ring buffer.
+    """
+
+    enabled: bool = True
+    slow_query_seconds: float = 0.25
+    slow_log_capacity: int = 128
+
+
+class Telemetry:
+    """Per-session trace minting, metrics registry, and slow-query log."""
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config or TelemetryConfig()
+        if self.config.enabled:
+            self._metrics: Any = MetricsRegistry()
+            self._slow_log = SlowQueryLog(self.config.slow_log_capacity)
+        else:
+            self._metrics = _NULL_METRICS
+            self._slow_log = SlowQueryLog(1)
+        self._ids = itertools.count(1)
+        # Resolved series handles for query folding: label-tuple sorting and
+        # registry locking happen once per (kind, path), not once per folded
+        # query.  Racy inserts are harmless — the registry hands both
+        # threads the same underlying series.
+        self._query_series: dict = {}
+        self._peak_series: dict = {}
+        # Deferred query folding: the serving hot path appends records here;
+        # the ``metrics``/``slow_log`` properties (or the cap) flush them.
+        self._pending: list = []
+        self._flush_lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    @property
+    def metrics(self) -> Any:
+        """The registry, with every pending query folded in first."""
+        if self._pending:
+            self._flush()
+        return self._metrics
+
+    @property
+    def slow_log(self) -> SlowQueryLog:
+        """The slow-query ring, with every pending query folded in first."""
+        if self._pending:
+            self._flush()
+        return self._slow_log
+
+    @classmethod
+    def coerce(cls, value: Union["Telemetry", TelemetryConfig, bool, None]) -> "Telemetry":
+        """Normalise the ``QuerySession(telemetry=...)`` knob."""
+        if isinstance(value, Telemetry):
+            return value
+        if isinstance(value, TelemetryConfig):
+            return cls(value)
+        if value is None or value is True:
+            return cls()
+        if value is False:
+            return DISABLED
+        raise TypeError(
+            f"telemetry must be a Telemetry, TelemetryConfig or bool, "
+            f"got {type(value).__name__}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Tracing
+    # ------------------------------------------------------------------ #
+    def start(self, kind: str) -> Optional[Trace]:
+        """A fresh trace for one served call, or ``None`` when disabled."""
+        if not self.config.enabled:
+            return None
+        return Trace(f"t{next(self._ids):06d}", kind, metrics=self._metrics)
+
+    # ------------------------------------------------------------------ #
+    # Per-call accounting (deferred: the hot path appends one record)
+    # ------------------------------------------------------------------ #
+    def observe_query(self, trace: Optional[Trace], kind: str,
+                      path: Optional[str], seconds: float,
+                      explanation: Any = None) -> None:
+        """Queue one finished query for folding into the registry.
+
+        ``path=None`` defers the warm/cold classification too — the flush
+        resolves it from the explanation.  The actual folding (series
+        lookups, histograms, the slow-log threshold check) happens in
+        :meth:`_flush`, triggered by the next ``metrics``/``slow_log`` read
+        or by the pending buffer hitting its cap.
+        """
+        if not self.config.enabled:
+            return
+        pending = self._pending
+        pending.append((trace, kind, path, seconds, explanation))
+        if len(pending) >= _PENDING_CAP:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Fold every pending query record (idempotent, thread-safe)."""
+        with self._flush_lock:
+            pending, self._pending = self._pending, []
+            for record in pending:
+                self._fold_query(*record)
+
+    def _fold_query(self, trace: Optional[Trace], kind: str,
+                    path: Optional[str], seconds: float,
+                    explanation: Any = None) -> None:
+        """Fold one finished query into the registry and maybe the slow log."""
+        if path is None:
+            path = serving_path(explanation)
+        metrics = self._metrics
+        handles = self._query_series.get((kind, path))
+        if handles is None:
+            handles = (
+                metrics.counter("repro_queries_total", kind=kind, path=path),
+                metrics.histogram("repro_query_seconds", kind=kind, path=path),
+            )
+            self._query_series[(kind, path)] = handles
+        handles[0].inc()
+        handles[1].observe(seconds)
+        if explanation is not None:
+            peak = 0
+            for op in getattr(explanation, "operators", ()):
+                raw = op.detail.get("memory_extract_peak_bytes")
+                if raw:
+                    peak = max(peak, int(raw))
+            if peak:
+                peak_hist = self._peak_series.get(kind)
+                if peak_hist is None:
+                    peak_hist = metrics.histogram(
+                        "repro_extract_peak_bytes", buckets=BYTES_BUCKETS,
+                        kind=kind,
+                    )
+                    self._peak_series[kind] = peak_hist
+                peak_hist.observe(float(peak))
+            reports = getattr(explanation, "shard_reports", None)
+            if reports:
+                shard_seconds = []
+                for row in reports:
+                    row_seconds = float(row.get("seconds", 0.0))
+                    shard_seconds.append(row_seconds)
+                    metrics.observe("repro_shard_subplan_seconds", row_seconds,
+                                    shard=row.get("shard", "?"))
+                if len(shard_seconds) > 1:
+                    mean = sum(shard_seconds) / len(shard_seconds)
+                    skew = (max(shard_seconds) / mean) if mean > 0 else 1.0
+                    metrics.set_gauge("repro_shard_skew", skew, kind=kind)
+        if trace is not None and seconds >= self.config.slow_query_seconds:
+            explain_text = ""
+            if explanation is not None:
+                try:
+                    explain_text = explanation.format()
+                except Exception:
+                    explain_text = ""
+            self._slow_log.record(
+                SlowQueryEntry(trace, kind, path, seconds, explain_text)
+            )
+
+    def observe_write(self, trace: Optional[Trace], op: str, outcome: str,
+                      seconds: float, rows: int = 0) -> None:
+        """Fold one finished write (append/delete) into the registry.
+
+        Writes fold eagerly (they are orders of magnitude rarer than warm
+        reads), flushing pending queries first so the slow log stays
+        time-ordered.
+        """
+        if not self.config.enabled:
+            return
+        if self._pending:
+            self._flush()
+        metrics = self._metrics
+        metrics.inc("repro_writes_total", op=op, outcome=outcome)
+        if rows:
+            metrics.inc("repro_write_rows_total", rows, op=op)
+        metrics.observe("repro_write_seconds", seconds, op=op)
+        if trace is not None and seconds >= self.config.slow_query_seconds:
+            self._slow_log.record(SlowQueryEntry(trace, op, outcome, seconds))
+
+
+# Shared instance for ``telemetry=False`` sessions: everything no-ops, so
+# sharing across sessions is safe and keeps the disabled path allocation-free.
+DISABLED = Telemetry(TelemetryConfig(enabled=False))

@@ -1,0 +1,383 @@
+"""Structured tracing: per-query span trees with near-zero disabled cost.
+
+Every served call (``evaluate`` / ``submit_batch`` / ``asubmit`` / a write)
+gets a :class:`Trace` — an ID plus a tree of timed :class:`Span` nodes —
+and the instrumentation hooks threaded through the planner, the physical
+operators, the shard executor, the extraction kernels and the parallel
+executor attach their spans to whichever trace is *active* on the current
+thread.  The design keeps the hot path honest:
+
+* the module-level :func:`span` hook is the only thing instrumented code
+  calls; when no trace is active it returns one shared no-op context
+  manager — a thread-local read and nothing else, so always-on
+  instrumentation costs nanoseconds when telemetry is disabled;
+* spans time themselves with ``perf_counter`` and defer all string work
+  (tree rendering, attribute formatting) to :meth:`Span.format`, which only
+  runs for slow-query forensics and CLI display;
+* each trace keeps a *per-thread* span stack, so concurrently served
+  queries never interleave their trees, and :meth:`Trace.worker` seeds a
+  pool worker's stack with the caller's current span — worker spans (e.g.
+  per-shard subplans fanned out by the shard executor) ship back attached
+  under the span that submitted them.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed node of a trace tree.
+
+    A span is its own context manager: :meth:`Trace.span` primes it with the
+    calling thread's span stack, ``__enter__`` attaches it under the stack
+    top and starts the clock, ``__exit__`` stops it and pops.  Folding the
+    context manager into the node halves the per-span allocations on the
+    warm serving path, where span overhead is the bulk of the telemetry
+    budget.
+    """
+
+    __slots__ = ("name", "start", "end", "attrs", "children", "_stack", "_defer")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.start = 0.0
+        self.end = 0.0
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self._stack: Optional[List["Span"]] = None
+        self._defer: Any = None
+
+    def __enter__(self) -> "Span":
+        stack = self._stack
+        # list.append is atomic under the GIL, so worker threads can attach
+        # children to a shared parent without locking.
+        stack[-1].children.append(self)
+        stack.append(self)
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.end = perf_counter()
+        stack = self._stack
+        self._stack = None
+        if stack and stack[-1] is self:
+            stack.pop()
+        return False
+
+    @property
+    def seconds(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute (lazy dict: most spans carry none)."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+        return self
+
+    # -- deferred subtree construction -------------------------------------- #
+    def defer(self, builder: Any) -> None:
+        """Register a callable fleshing out this span's subtree lazily.
+
+        The hot path records only the raw facts (a builder object holding
+        timestamps and statuses); ``builder(span)`` runs once, the first
+        time the tree is introspected — slow-query rendering, the CLI
+        ``trace`` command, test assertions — so a served query that nobody
+        looks at never pays for materialising its per-operator spans.
+        """
+        self._defer = builder
+
+    def _realize(self) -> None:
+        # Move-then-call so a re-entrant introspection (the builder itself
+        # walks ``children``) cannot run the builder twice.
+        builder, self._defer = self._defer, None
+        if builder is not None:
+            builder(self)
+
+    # -- introspection (off the hot path) ---------------------------------- #
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        if self._defer is not None:
+            self._realize()
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with the given name."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [node for node in self.walk() if node.name == name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able tree (exporters and the slow-query log)."""
+        if self._defer is not None:
+            self._realize()
+        out: Dict[str, Any] = {"name": self.name, "seconds": round(self.seconds, 9)}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def format(self, indent: int = 0) -> str:
+        """Human-readable tree rendering (CLI ``trace`` command)."""
+        if self._defer is not None:
+            self._realize()
+        attrs = ""
+        if self.attrs:
+            attrs = "  " + " ".join(
+                f"{k}={v}" for k, v in sorted(self.attrs.items())
+            )
+        lines = [f"{'  ' * indent}{self.name} ({self.seconds * 1e3:.3f} ms){attrs}"]
+        lines.extend(child.format(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.seconds * 1e3:.3f}ms, {len(self.children)} children)"
+
+
+class _WorkerContext:
+    """Seeds a pool worker thread's span stack with the caller's span.
+
+    Also installs the trace as the worker thread's *active* one, so the
+    module-level :func:`span` hooks inside instrumented layers (planner,
+    extraction) attach their spans under ``parent`` instead of silently
+    no-oping on the pool thread.
+    """
+
+    __slots__ = ("_trace", "_parent", "_saved")
+
+    def __init__(self, trace: "Trace", parent: Span) -> None:
+        self._trace = trace
+        self._parent = parent
+        self._saved: Any = None
+
+    def __enter__(self) -> Span:
+        local = self._trace._ensure_local()
+        self._saved = (
+            getattr(local, "stack", None),
+            getattr(_ACTIVE, "trace", None),
+            getattr(_ACTIVE, "stack", None),
+        )
+        stack = [self._parent]
+        local.stack = stack
+        _ACTIVE.trace = self._trace
+        _ACTIVE.stack = stack
+        return self._parent
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        # Restore whatever the (reused, persistent) pool thread had, so a
+        # later task of a different trace never sees a stale stack.
+        prior_stack, prior_trace, prior_active = self._saved
+        self._trace._ensure_local().stack = prior_stack
+        _ACTIVE.trace = prior_trace
+        _ACTIVE.stack = prior_active
+        return False
+
+
+class Trace:
+    """One served call's span tree, rooted at ``root``.
+
+    ``metrics`` optionally carries the owning telemetry's metrics registry so
+    deep instrumentation (e.g. the parallel executor's queue-wait histogram)
+    can record without a back-reference to the session.
+
+    The per-thread span stacks live in two places: the serving hot path
+    (:func:`activate` + module-level :func:`span`) keeps this thread's stack
+    in the ``_ACTIVE`` thread-local only, so minting a trace allocates no
+    ``threading.local`` (and no cyclic garbage for the GC); direct
+    ``trace.span(...)`` use without activation falls back to a lazily
+    created per-trace local.
+    """
+
+    __slots__ = ("trace_id", "kind", "root", "metrics", "_local")
+
+    def __init__(self, trace_id: str, kind: str, metrics: Any = None) -> None:
+        self.trace_id = trace_id
+        self.kind = kind
+        self.root = Span(kind)
+        self.root.start = perf_counter()
+        self.metrics = metrics
+        self._local: Optional[threading.local] = None
+
+    def _ensure_local(self) -> threading.local:
+        local = self._local
+        if local is None:
+            with _LOCAL_INIT_LOCK:
+                local = self._local
+                if local is None:
+                    local = threading.local()
+                    self._local = local
+        return local
+
+    def _stack(self) -> List[Span]:
+        # Fast path: this trace is the thread's active one, its stack is
+        # cached in the activation thread-local.
+        if getattr(_ACTIVE, "trace", None) is self:
+            return _ACTIVE.stack
+        local = self._ensure_local()
+        stack = getattr(local, "stack", None)
+        if stack is None:
+            stack = [self.root]
+            local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A child span of the current thread's innermost open span."""
+        child = Span(name, attrs or None)
+        child._stack = self._stack()
+        return child
+
+    def current_span(self) -> Span:
+        return self._stack()[-1]
+
+    def worker(self, parent: Span) -> _WorkerContext:
+        """Context manager rooting this thread's spans under ``parent``."""
+        return _WorkerContext(self, parent)
+
+    def finish(self) -> None:
+        self.root.end = perf_counter()
+
+    # -- introspection ------------------------------------------------------ #
+    @property
+    def seconds(self) -> float:
+        return self.root.seconds
+
+    def find(self, name: str) -> Optional[Span]:
+        return self.root.find(name)
+
+    def span_names(self) -> List[str]:
+        """Every span name in depth-first order (test assertions)."""
+        return [node.name for node in self.root.walk()]
+
+    def format(self) -> str:
+        return f"trace {self.trace_id} ({self.kind})\n{self.root.format(indent=1)}"
+
+
+class _NullSpan:
+    """Shared no-op span/context-manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+# Guards lazy creation of a trace's fallback threading.local (direct
+# trace.span() use and pool-worker seeding; the activation path never
+# creates one).
+_LOCAL_INIT_LOCK = threading.Lock()
+
+# The active trace is per-thread: concurrently served queries (submit_batch
+# fan-out, asubmit pool) each activate their own trace on their own thread.
+# ``_ACTIVE.stack`` caches the active trace's span stack for this thread so
+# the module-level hooks are a single thread-local read.
+_ACTIVE = threading.local()
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace active on this thread (``None`` when telemetry is off)."""
+    return getattr(_ACTIVE, "trace", None)
+
+
+class _Activation:
+    """Context manager installing a trace as this thread's active one.
+
+    Caches the trace's span stack for this thread in ``_ACTIVE`` alongside
+    the trace itself, so the module-level :func:`span` fast path is a single
+    thread-local read instead of a trace → local → stack chain.
+    """
+
+    __slots__ = ("_trace", "_prev")
+
+    def __init__(self, trace: Trace) -> None:
+        self._trace = trace
+        self._prev: Any = None
+
+    def __enter__(self) -> Trace:
+        self._prev = install(self._trace)
+        return self._trace
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        restore(self._prev)
+        return False
+
+
+def activate(trace: Trace) -> _Activation:
+    """Install ``trace`` as the active trace for the dynamic extent."""
+    return _Activation(trace)
+
+
+def install(trace: Trace) -> Any:
+    """Plain-function activation: install ``trace``, return a restore token.
+
+    The serving wrapper uses :func:`install` / :func:`restore` inside its
+    own ``try/finally`` instead of :func:`activate`, skipping the context
+    manager allocation and protocol dispatch on the per-query hot path.
+    """
+    prev = (getattr(_ACTIVE, "trace", None), getattr(_ACTIVE, "stack", None))
+    # Adopt a stack this thread already opened via direct trace.span()
+    # use; otherwise start fresh from the root — WITHOUT creating the
+    # per-trace local (the serving hot path never needs it).
+    local = trace._local
+    stack = getattr(local, "stack", None) if local is not None else None
+    if stack is None:
+        stack = [trace.root]
+    _ACTIVE.trace = trace
+    _ACTIVE.stack = stack
+    return prev
+
+
+def restore(token: Any) -> None:
+    """Undo a matching :func:`install`."""
+    _ACTIVE.trace, _ACTIVE.stack = token
+
+
+def span(name: str, **attrs: Any):
+    """A span under the active trace, or the shared no-op when inactive.
+
+    This is the hook every instrumented layer calls.  The disabled cost is
+    one thread-local read plus returning a shared object — no allocation,
+    no timing, no string work.  The enabled cost is that same read (the
+    activation pre-resolved this thread's span stack) plus one ``Span``
+    allocation.
+    """
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        return NULL_SPAN
+    child = Span(name, attrs or None)
+    child._stack = stack
+    return child
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the innermost open span of the active trace.
+
+    The cheap sibling of :func:`span` for hot-path facts that need no
+    timing of their own — cache probe outcomes, chosen modes.  One
+    thread-local read and a dict update; a no-op when telemetry is off.
+    """
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        return
+    top = stack[-1]
+    if top.attrs is None:
+        top.attrs = attrs
+    else:
+        top.attrs.update(attrs)

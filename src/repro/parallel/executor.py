@@ -35,10 +35,27 @@ import numpy as np
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
 from repro.data.relation import Relation
 from repro.matmul.dense import accumulation_dtype
+from repro.obs.trace import current_trace
 
 T = TypeVar("T")
 R = TypeVar("R")
 Pair = Tuple[int, int]
+
+
+def _traced_task(trace, func: Callable[[T], R]) -> Callable[[T], R]:
+    """Carry the caller's trace (and queue-wait accounting) into pool workers."""
+    parent = trace.current_span()
+    metrics = trace.metrics
+    submitted = time.perf_counter()
+
+    def run(item: T) -> R:
+        if metrics is not None:
+            metrics.observe("repro_pool_wait_seconds",
+                            time.perf_counter() - submitted, pool="parallel")
+        with trace.worker(parent):
+            return func(item)
+
+    return run
 
 
 @dataclass
@@ -63,6 +80,13 @@ class ParallelExecutor:
         """Apply ``func`` to every item, in parallel when cores > 1."""
         if self.cores == 1 or len(items) <= 1:
             return [func(item) for item in items]
+        # Pool workers run on their own threads, where the caller's active
+        # trace is invisible; wrap the task so each worker (a) reports its
+        # queue wait and (b) roots its spans under the submitting span —
+        # worker spans ship back with the results.
+        trace = current_trace()
+        if trace is not None:
+            func = _traced_task(trace, func)
         if self.persistent:
             return list(self._ensure_pool().map(func, items))
         with ThreadPoolExecutor(max_workers=self.cores) as pool:

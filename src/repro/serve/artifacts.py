@@ -108,6 +108,12 @@ class ArtifactCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        # Per-artifact-kind hit/miss counts (kind = structured key's leading
+        # tag, e.g. "semijoin" / "operands" / "shard_result").  Feeds the
+        # metrics registry's per-kind hit-ratio gauges; the aggregate
+        # stats() shape is unchanged.
+        self._kind_hits: Dict[str, int] = {}
+        self._kind_misses: Dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -121,13 +127,16 @@ class ArtifactCache:
     # ------------------------------------------------------------------ #
     def lookup(self, key: Any) -> Tuple[bool, Any]:
         """``(found, value)``; counts a hit or a miss and refreshes LRU order."""
+        kind = key[0] if type(key) is tuple and key else "other"
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                self._kind_misses[kind] = self._kind_misses.get(kind, 0) + 1
                 return False, None
             self._entries.move_to_end(key)
             self.hits += 1
+            self._kind_hits[kind] = self._kind_hits.get(kind, 0) + 1
             return True, entry[0]
 
     def put(self, key: Any, value: Any, nbytes: int) -> None:
@@ -227,6 +236,22 @@ class ArtifactCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+            }
+
+    def kind_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-artifact-kind ``{"hits": n, "misses": n}`` rows.
+
+        Kept separate from :meth:`stats` so the aggregate dict's shape (which
+        golden explains embed) never changes.
+        """
+        with self._lock:
+            kinds = sorted(set(self._kind_hits) | set(self._kind_misses))
+            return {
+                kind: {
+                    "hits": self._kind_hits.get(kind, 0),
+                    "misses": self._kind_misses.get(kind, 0),
+                }
+                for kind in kinds
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.matmul.cost_model import MatMulCostModel
 from repro.plan.explain import PlanExplanation
@@ -32,6 +32,9 @@ class FeedbackRow:
     operator: str
     estimated_seconds: float
     actual_seconds: float
+    # The matmul backend that ran (None for non-matmul operators) — lets the
+    # gauges split the heavy operator's calibration error per backend.
+    backend: Optional[str] = None
 
     @property
     def ratio(self) -> Optional[float]:
@@ -60,6 +63,10 @@ class CostFeedback:
     )
     observations: int = 0
     extraction_observations: int = 0
+    # Observed per-extraction-mode rates (seconds per product cell), blended
+    # as an EMA over every mode — including screened scans, which carry no
+    # clean *calibration* signal but are still worth exposing as a gauge.
+    extract_rates: Dict[str, float] = field(default_factory=dict)
 
     def record(self, explanation: PlanExplanation, cores: int = 1) -> None:
         """Fold one executed plan's explanation into the feedback state."""
@@ -70,26 +77,67 @@ class CostFeedback:
                 operator=report.operator,
                 estimated_seconds=float(report.estimated_cost),
                 actual_seconds=float(report.actual_seconds),
+                backend=report.backend,
             ))
-            if report.operator != "matmul_heavy" or self.cost_model is None:
+            if report.operator != "matmul_heavy":
                 continue
             dims = report.detail.get("matrix_dims")
             multiply_seconds = float(report.detail.get("multiply_seconds", 0.0))
             if not dims or min(dims) <= 0 or multiply_seconds <= 0.0:
                 continue
             u, v, w = (int(d) for d in dims)
+            extract_mode = report.detail.get("extract_mode")
+            extract_seconds = float(report.detail.get("extract_seconds", 0.0))
+            if extract_mode and extract_seconds > 0.0:
+                rate = extract_seconds / float(u * w)
+                prev = self.extract_rates.get(str(extract_mode))
+                self.extract_rates[str(extract_mode)] = (
+                    rate if prev is None else 0.5 * prev + 0.5 * rate
+                )
+            if self.cost_model is None:
+                continue
             self.cost_model.observe(u, v, w, cores=cores, seconds=multiply_seconds)
             self.observations += 1
             # Full-pass extraction scans calibrate the per-cell extraction
             # constant the per-mode estimates are built from; screened scans
             # skip unknown amounts of work and carry no clean signal.
-            extract_mode = report.detail.get("extract_mode")
-            extract_seconds = float(report.detail.get("extract_seconds", 0.0))
             if extract_mode in ("full", "adaptive") and extract_seconds > 0.0:
                 self.cost_model.observe_extraction(
                     u, w, extract_seconds, mode=str(extract_mode), cores=cores
                 )
                 self.extraction_observations += 1
+
+    def gauges(self) -> List[Tuple[Dict[str, str], float]]:
+        """``(labels, value)`` rows for the metrics registry.
+
+        Exposes the feedback loop's internal state as gauges: observed
+        actual-vs-estimated cost ratios per operator and (for the heavy
+        matmul operator) per backend, plus the per-extraction-mode observed
+        seconds-per-cell rates.  Ratios aggregate the bounded recent-rows
+        window, matching :meth:`summary`.
+        """
+        out: List[Tuple[Dict[str, str], float]] = []
+        by_operator: Dict[str, Tuple[float, float]] = {}
+        by_backend: Dict[str, Tuple[float, float]] = {}
+        for row in self.rows:
+            est, act = by_operator.get(row.operator, (0.0, 0.0))
+            by_operator[row.operator] = (est + row.estimated_seconds,
+                                         act + row.actual_seconds)
+            if row.operator == "matmul_heavy" and row.backend:
+                est, act = by_backend.get(row.backend, (0.0, 0.0))
+                by_backend[row.backend] = (est + row.estimated_seconds,
+                                           act + row.actual_seconds)
+        for operator in sorted(by_operator):
+            est, act = by_operator[operator]
+            if est > 0.0:
+                out.append(({"operator": operator}, act / est))
+        for backend in sorted(by_backend):
+            est, act = by_backend[backend]
+            if est > 0.0:
+                out.append(({"backend": backend}, act / est))
+        for mode in sorted(self.extract_rates):
+            out.append(({"mode": mode}, self.extract_rates[mode]))
+        return out
 
     def summary(self) -> List[Dict[str, object]]:
         """Per-operator aggregate rows (printed by ``repro-cli session``)."""

@@ -59,6 +59,13 @@ from repro.data.relation import Relation
 from repro.data.setfamily import SetFamily
 from repro.matmul.cost_model import MatMulCostModel
 from repro.matmul.registry import BackendRegistry, make_default_registry
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.telemetry import Telemetry, serving_path
+from repro.obs.trace import activate as trace_activate
+from repro.obs.trace import annotate as obs_annotate
+from repro.obs.trace import install as trace_install
+from repro.obs.trace import restore as trace_restore
+from repro.obs.trace import span as obs_span
 from repro.parallel.executor import ParallelExecutor
 from repro.plan.explain import PlanExplanation
 from repro.plan.planner import Planner
@@ -221,6 +228,9 @@ class SessionResult:
     seconds: float
     from_memo: bool = False
     plan: Optional[Any] = None  # PhysicalPlan when freshly executed
+    # Telemetry: the id of the trace recorded for this call (None when the
+    # session's telemetry is disabled).  Feeds `repro-cli trace <id>`.
+    trace_id: Optional[str] = None
     _pairs_cache: Optional[Set[HeadTuple]] = field(default=None, repr=False)
     _counts_cache: Optional[Dict[HeadTuple, int]] = field(default=None, repr=False)
 
@@ -332,6 +342,13 @@ class QuerySession:
         pending rows stay within this bound is buffered on the shard as a
         pending delta block and folded on the next read (or when a later
         write trips the threshold).  ``0`` folds every write eagerly.
+    telemetry:
+        Observability knob: ``True`` (default) gives the session its own
+        trace/metrics/slow-log substrate, ``False`` degrades every hook to
+        a no-op, and a :class:`~repro.obs.telemetry.TelemetryConfig` or a
+        prebuilt :class:`~repro.obs.telemetry.Telemetry` customises the
+        slow-query threshold / shares one registry across sessions.  See
+        :meth:`metrics` and :attr:`Telemetry.slow_log`.
     """
 
     def __init__(
@@ -346,8 +363,10 @@ class QuerySession:
         heavy_key_factor: float = 0.5,
         shard_result_cache: bool = True,
         lazy_merge_rows: int = 4096,
+        telemetry: Any = True,
     ) -> None:
         self.config = config
+        self.telemetry = Telemetry.coerce(telemetry)
         if registry is not None:
             self.registry = registry
             self.cost_model = cost_model if cost_model is not None else registry.cost_model
@@ -613,12 +632,37 @@ class QuerySession:
 
     def _apply_write(self, name: str, rows: Any, op: str,
                      strict: bool = False) -> str:
+        kind = "append" if op == "+" else "delete"
+        trace = self.telemetry.start(kind)
+        if trace is None:
+            return self._apply_write_inner(name, rows, op, strict)[0]
+        start = time.perf_counter()
+        with trace_activate(trace):
+            try:
+                name_out, outcome, n_rows = self._apply_write_inner(
+                    name, rows, op, strict
+                )
+            finally:
+                trace.finish()
+        self.telemetry.observe_write(
+            trace, kind, outcome, time.perf_counter() - start, rows=n_rows
+        )
+        return name_out
+
+    def _apply_write_inner(self, name: str, rows: Any, op: str,
+                           strict: bool = False) -> Tuple[str, str, int]:
+        """``(name, outcome, rows)`` — outcome is the absorption verdict.
+
+        ``absorbed``: every touched shard buffered its slice as a pending
+        delta; ``folded``: at least one shard (or the unsharded base)
+        materialised; ``noop``: empty delta.
+        """
         delta = _delta_rows(rows)
         with self._lock:
             if name not in self.catalog:
                 raise KeyError(f"cannot write to unregistered relation {name!r}")
             if delta.shape[0] == 0:
-                return name  # no version bump, no invalidation
+                return name, "noop", 0  # no version bump, no invalidation
             if op == "-" and strict:
                 current = PairBlock.from_array(
                     np.asarray(self.catalog.get(name).data), deduped=True
@@ -631,7 +675,8 @@ class QuerySession:
                     )
             container = self._sharded.get(name)
             if container is None:
-                return self._write_unsharded(name, delta, op)
+                return (self._write_unsharded(name, delta, op), "folded",
+                        int(delta.shape[0]))
             owners = container.spec.shard_of_keys(
                 np.ascontiguousarray(delta[:, 1])
             )
@@ -651,11 +696,19 @@ class QuerySession:
             self.context.unbind_where(
                 lambda token: token_mentions_write(token, name, touched)
             )
+            folded_shards = 0
             for shard in sorted(touched):
-                stored = container.apply_delta(
-                    shard, delta[owners == shard], op,
-                    lazy_rows=self.lazy_merge_rows,
-                )
+                with obs_span("delta_apply", shard=shard) as sp:
+                    stored = container.apply_delta(
+                        shard, delta[owners == shard], op,
+                        lazy_rows=self.lazy_merge_rows,
+                    )
+                # An absorbed delta leaves the stored relation lazily
+                # combined (pending blocks not yet folded into the base).
+                absorbed = not getattr(stored, "materialized", True)
+                sp.set("outcome", "absorbed" if absorbed else "folded")
+                if not absorbed:
+                    folded_shards += 1
                 shard_version = self._shard_versions.get((name, shard), -1) + 1
                 self._shard_versions[(name, shard)] = shard_version
                 self.context.bind(stored, ("shard", name, shard, shard_version))
@@ -670,7 +723,13 @@ class QuerySession:
             self.catalog.add(base, name=name)
             self.context.bind(base, ("rel", name, version))
             self._families.pop(name, None)
-        return name
+            if folded_shards == 0:
+                outcome = "absorbed"
+            elif folded_shards == len(touched):
+                outcome = "folded"
+            else:
+                outcome = "mixed"
+        return name, outcome, int(delta.shape[0])
 
     def _write_unsharded(self, name: str, delta: np.ndarray, op: str) -> str:
         # No shard routing to exploit: fold the delta into the base data
@@ -794,7 +853,41 @@ class QuerySession:
         use_memo: bool = True,
         config: Optional[MMJoinConfig] = None,
     ) -> SessionResult:
-        """Serve one logical query through the session-aware pipeline."""
+        """Serve one logical query through the session-aware pipeline.
+
+        With telemetry enabled the call gets a trace (span tree rooted at
+        the query kind), its latency lands in the metrics registry labelled
+        by kind × serving path (``memo`` / ``warm`` / ``cold``), and calls
+        over the slow-query threshold are parked in the slow log.
+        """
+        trace = self.telemetry.start(query.kind)
+        if trace is None:  # disabled: skip straight to the untraced body
+            return self._evaluate(query, use_memo, config)
+        token = trace_install(trace)
+        try:
+            result = self._evaluate(query, use_memo, config)
+        finally:
+            trace_restore(token)
+            trace.finish()
+        result.trace_id = trace.trace_id
+        # path=None defers the warm/cold classification to the metrics flush.
+        path = "memo" if result.from_memo else None
+        self.telemetry.observe_query(
+            trace, query.kind, path, result.seconds, result.explanation
+        )
+        return result
+
+    @staticmethod
+    def _serving_path(explanation: Optional[PlanExplanation]) -> str:
+        """Label a fresh execution ``warm`` (all operator caches hit) or ``cold``."""
+        return serving_path(explanation)
+
+    def _evaluate(
+        self,
+        query: JoinProjectQuery,
+        use_memo: bool = True,
+        config: Optional[MMJoinConfig] = None,
+    ) -> SessionResult:
         run_config = config if config is not None else self.config
         start = time.perf_counter()
         self._ensure_registered(query)
@@ -802,6 +895,7 @@ class QuerySession:
         if key is not None:
             found, value = self.memo.lookup(key)
             if found:
+                obs_annotate(memo="hit")
                 block, counted, explanation = value
                 return SessionResult(
                     query_kind=query.kind,
@@ -953,6 +1047,28 @@ class QuerySession:
         queries = list(queries)
         if not queries:
             return []
+        # The batch itself is a traced call ("batch" kind): its tree records
+        # the leader/follower structure, while each member query still gets
+        # its own per-query trace inside.
+        trace = self.telemetry.start("batch")
+        start = time.perf_counter()
+        if trace is None:
+            return self._submit_batch(queries, use_memo)
+        with trace_activate(trace):
+            try:
+                results = self._submit_batch(queries, use_memo)
+            finally:
+                trace.finish()
+        metrics = self.telemetry.metrics
+        metrics.inc("repro_batches_total")
+        metrics.observe("repro_batch_seconds", time.perf_counter() - start)
+        return results
+
+    def _submit_batch(
+        self,
+        queries: List[JoinProjectQuery],
+        use_memo: bool,
+    ) -> List[SessionResult]:
         for query in queries:
             self._ensure_registered(query)
         groups: Dict[Tuple[Any, ...], List[int]] = {}
@@ -962,16 +1078,20 @@ class QuerySession:
         followers: List[int] = []
         for members in groups.values():
             leader = members[0]
-            results[leader] = self.evaluate(queries[leader], use_memo=use_memo)
+            with obs_span("batch_leader", index=leader):
+                results[leader] = self.evaluate(queries[leader], use_memo=use_memo)
             followers.extend(members[1:])
         if followers:
             pool = self._async_executor()
-            for index, result in zip(
-                followers,
-                pool.map(
-                    lambda i: self.evaluate(queries[i], use_memo=use_memo), followers
-                ),
-            ):
+            metrics = self.telemetry.metrics
+            submitted = time.perf_counter()
+
+            def run_follower(i: int) -> SessionResult:
+                metrics.observe("repro_pool_wait_seconds",
+                                time.perf_counter() - submitted, pool="serving")
+                return self.evaluate(queries[i], use_memo=use_memo)
+
+            for index, result in zip(followers, pool.map(run_follower, followers)):
                 results[index] = result
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
@@ -984,10 +1104,15 @@ class QuerySession:
     ) -> SessionResult:
         """Serve one query without blocking the calling event loop."""
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self._async_executor(),
-            lambda: self.evaluate(query, use_memo=use_memo, config=config),
-        )
+        metrics = self.telemetry.metrics
+        submitted = time.perf_counter()
+
+        def run() -> SessionResult:
+            metrics.observe("repro_pool_wait_seconds",
+                            time.perf_counter() - submitted, pool="serving")
+            return self.evaluate(query, use_memo=use_memo, config=config)
+
+        return await loop.run_in_executor(self._async_executor(), run)
 
     def _async_executor(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -1013,13 +1138,12 @@ class QuerySession:
                 counters["cache_hits"] += int(row.get("cache_hits", 0))
                 counters["cache_misses"] += int(row.get("cache_misses", 0))
 
-    def shard_stats(self) -> Dict[str, Any]:
-        """Sharding layout and cumulative per-shard cache behaviour.
+    def _stats_snapshot(self) -> Dict[str, Any]:
+        """The one place hit-rate accounting is assembled.
 
-        Feeds the ``repro-cli shard`` report: the frozen spec (hash vs
-        heavy shards and their keys), every sharded relation's shard sizes,
-        and per-shard operator-cache hit rates accumulated over the
-        session's sharded executions.
+        ``cache_stats()``, ``shard_stats()`` and the metrics-registry gauges
+        are all views over this snapshot, so the three surfaces can never
+        drift from each other.
         """
         with self._lock:
             spec = self._sharding_spec
@@ -1032,7 +1156,7 @@ class QuerySession:
                         round(counters["cache_hits"] / lookups, 4) if lookups else 0.0
                     ),
                 }
-            return {
+            shard: Dict[str, Any] = {
                 "shards": spec.num_shards if spec is not None else 0,
                 "hash_shards": spec.hash_shards if spec is not None else 0,
                 "heavy_keys": (
@@ -1052,19 +1176,96 @@ class QuerySession:
                     "last_fallback": self._router.last_fallback,
                 },
             }
+            cache: Dict[str, Any] = {
+                "artifacts": self.artifacts.stats(),
+                "memo": self.memo.stats(),
+                "queries_served": self.queries_served,
+                "feedback_observations": self.feedback.observations,
+                "cost_model_points": len(self.cost_model.table()),
+            }
+            if self._sharded:
+                cache["shards"] = shard
+            return {"cache": cache, "shard": shard}
+
+    def shard_stats(self) -> Dict[str, Any]:
+        """Sharding layout and cumulative per-shard cache behaviour.
+
+        Feeds the ``repro-cli shard`` report: the frozen spec (hash vs
+        heavy shards and their keys), every sharded relation's shard sizes,
+        and per-shard operator-cache hit rates accumulated over the
+        session's sharded executions.  (A view over the unified
+        :meth:`_stats_snapshot` accounting.)
+        """
+        return self._stats_snapshot()["shard"]
 
     def cache_stats(self) -> Dict[str, Any]:
-        """Counters for both caches plus serving totals (CLI report)."""
-        stats = {
-            "artifacts": self.artifacts.stats(),
-            "memo": self.memo.stats(),
-            "queries_served": self.queries_served,
-            "feedback_observations": self.feedback.observations,
-            "cost_model_points": len(self.cost_model.table()),
-        }
-        if self._sharded:
-            stats["shards"] = self.shard_stats()
-        return stats
+        """Counters for both caches plus serving totals (CLI report).
+
+        A view over the unified :meth:`_stats_snapshot` accounting — the
+        same numbers the metrics registry exports as gauges.
+        """
+        return self._stats_snapshot()["cache"]
+
+    def metrics(self) -> MetricsSnapshot:
+        """A frozen snapshot of the session's metrics registry.
+
+        Pull-model gauges (cache hit ratios per artifact kind, cache bytes,
+        per-shard counters, cost-feedback calibration ratios) are refreshed
+        from :meth:`_stats_snapshot` first, then every series — including
+        the push-model query/write counters and latency histograms — is
+        copied out.  Use :meth:`MetricsSnapshot.delta` against an earlier
+        snapshot for interval readings, and :meth:`MetricsSnapshot.to_json`
+        / :meth:`MetricsSnapshot.to_prometheus` to export.
+        """
+        self._refresh_gauges()
+        return self.telemetry.metrics.snapshot()
+
+    def _refresh_gauges(self) -> None:
+        """Flatten the unified stats snapshot into registry gauges."""
+        if not self.telemetry.enabled:
+            return
+        metrics = self.telemetry.metrics
+        snapshot = self._stats_snapshot()
+        cache = snapshot["cache"]
+        for cache_name in ("artifacts", "memo"):
+            counters = cache[cache_name]
+            lookups = counters["hits"] + counters["misses"]
+            metrics.set_gauge("repro_cache_hit_ratio",
+                              counters["hits"] / lookups if lookups else 0.0,
+                              cache=cache_name, kind="all")
+            metrics.set_gauge("repro_cache_bytes", counters["bytes"],
+                              cache=cache_name)
+            metrics.set_gauge("repro_cache_entries", counters["entries"],
+                              cache=cache_name)
+            metrics.set_gauge("repro_cache_evictions", counters["evictions"],
+                              cache=cache_name)
+        # Per-artifact-kind hit ratios (semijoin / partition / operands /
+        # memo / shard_result / shard_merged / ...), from the cache's own
+        # per-kind accounting.
+        for cache_name, store in (("artifacts", self.artifacts), ("memo", self.memo)):
+            for kind, row in store.kind_stats().items():
+                lookups = row["hits"] + row["misses"]
+                metrics.set_gauge("repro_cache_hit_ratio",
+                                  row["hits"] / lookups if lookups else 0.0,
+                                  cache=cache_name, kind=kind)
+        metrics.set_gauge("repro_session_queries_served", cache["queries_served"])
+        metrics.set_gauge("repro_feedback_observations",
+                          cache["feedback_observations"])
+        shard = snapshot["shard"]
+        for shard_id, counters in shard["per_shard"].items():
+            metrics.set_gauge("repro_shard_queries", counters["queries"],
+                              shard=shard_id)
+            metrics.set_gauge("repro_shard_cache_hit_ratio", counters["hit_rate"],
+                              shard=shard_id)
+        router = shard["router"]
+        metrics.set_gauge("repro_router_routed", router["routed"])
+        metrics.set_gauge("repro_router_fallbacks", router["fallbacks"])
+        # Cost-feedback calibration: estimated-vs-actual ratios per operator
+        # and per matmul backend, plus per-extraction-mode observed rates.
+        for labels, value in self.feedback.gauges():
+            metrics.set_gauge("repro_cost_ratio" if "mode" not in labels
+                              else "repro_extract_seconds_per_cell",
+                              value, **labels)
 
     def close(self) -> None:
         """Shut down the session's thread pools (caches just drop with it)."""

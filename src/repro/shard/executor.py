@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.core.config import MMJoinConfig
 from repro.data.pairblock import CountedPairBlock, PairBlock
+from repro.obs.trace import span as obs_span
 from repro.plan.explain import OperatorReport, PlanExplanation
 from repro.plan.planner import Planner, PhysicalPlan
 from repro.plan.query import TwoPathQuery
@@ -377,6 +378,25 @@ def _evaluate_subqueries(
     rectangle -> planner pipeline, with fresh results cached under their
     shard-token keys.
     """
+    indices = list(indices)
+    with obs_span("shard_fanout", shards=len(indices)):
+        return _evaluate_subqueries_impl(
+            indices, subqueries, shard_keys, counting, cache_ctx,
+            planner_for, shard_config, executor, parallel,
+        )
+
+
+def _evaluate_subqueries_impl(
+    indices: Sequence[int],
+    subqueries: Sequence[ShardSubquery],
+    shard_keys: Sequence[Optional[Any]],
+    counting: bool,
+    cache_ctx: Optional[Any],
+    planner_for: PlannerFactory,
+    shard_config: MMJoinConfig,
+    executor: Optional[Any],
+    parallel: bool,
+) -> Dict[int, _ShardOutcome]:
     outcomes: Dict[int, _ShardOutcome] = {}
 
     # ---- per-shard result cache: serve warm shards outright -------------- #
@@ -385,7 +405,10 @@ def _evaluate_subqueries(
         key = shard_keys[i]
         if key is not None:
             lookup_start = time.perf_counter()
-            found, value = cache_ctx.artifacts.lookup(key)
+            with obs_span("cache_lookup", kind="shard_result",
+                          shard=subqueries[i].shard) as sp:
+                found, value = cache_ctx.artifacts.lookup(key)
+            sp.set("outcome", "hit" if found else "miss")
             if found:
                 outcomes[i] = _cached_outcome(
                     subqueries[i], value, time.perf_counter() - lookup_start
@@ -538,9 +561,10 @@ def _patched_merged_result(
     fresh_blocks = [outcomes[i].block for i in touched
                     if outcomes[i].block is not None]
     merge_start = time.perf_counter()
-    merged_block = PairBlock.concat_all(
-        [parent_block] + fresh_blocks, arity=routed.arity
-    ).dedup()
+    with obs_span("shard_merge", shards=len(fresh_blocks) + 1):
+        merged_block = PairBlock.concat_all(
+            [parent_block] + fresh_blocks, arity=routed.arity
+        ).dedup()
     merge_seconds = time.perf_counter() - merge_start
 
     fresh_explanations = [outcomes[i].explanation for i in touched]
@@ -660,17 +684,21 @@ def execute_sharded(
                   for sub in subqueries]
     merged_key = _merged_key(shard_keys) if cache_ctx is not None else None
     if merged_key is not None:
-        found, value = cache_ctx.artifacts.lookup(merged_key)
+        with obs_span("cache_lookup", kind="shard_merged") as sp:
+            found, value = cache_ctx.artifacts.lookup(merged_key)
+        sp.set("outcome", "hit" if found else "miss")
         if found:
             return _merged_cached_result(
                 routed, value, time.perf_counter() - start
             )
         if not counting:
             # ---- merged-result patching after append-only writes -------- #
-            patched = _patched_merged_result(
-                routed, shard_keys, merged_key, cache_ctx, planner_for,
-                shard_config, executor, parallel, start,
-            )
+            with obs_span("delta_patch") as patch_span:
+                patched = _patched_merged_result(
+                    routed, shard_keys, merged_key, cache_ctx, planner_for,
+                    shard_config, executor, parallel, start,
+                )
+            patch_span.set("outcome", "patched" if patched is not None else "fallback")
             if patched is not None:
                 return patched
 
@@ -683,20 +711,21 @@ def execute_sharded(
     # ---- cross-shard merge (one concat + one packed-key unique) ---------- #
     merge_start = time.perf_counter()
     arity = routed.arity
-    if counting:
-        counted_blocks = [
-            outcome.counted for outcome in outcomes
-            if outcome.counted is not None
-        ]
-        merged_counted = _concat_counted(counted_blocks, arity).dedup(reduce="sum")
-        merged_block = merged_counted.pairs_block()
-    else:
-        blocks = [
-            outcome.block for outcome in outcomes
-            if outcome.block is not None
-        ]
-        merged_counted = None
-        merged_block = PairBlock.concat_all(blocks, arity=arity).dedup()
+    with obs_span("shard_merge", shards=len(outcomes)):
+        if counting:
+            counted_blocks = [
+                outcome.counted for outcome in outcomes
+                if outcome.counted is not None
+            ]
+            merged_counted = _concat_counted(counted_blocks, arity).dedup(reduce="sum")
+            merged_block = merged_counted.pairs_block()
+        else:
+            blocks = [
+                outcome.block for outcome in outcomes
+                if outcome.block is not None
+            ]
+            merged_counted = None
+            merged_block = PairBlock.concat_all(blocks, arity=arity).dedup()
     merge_seconds = time.perf_counter() - merge_start
 
     shard_explanations = [outcome.explanation for outcome in outcomes]

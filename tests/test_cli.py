@@ -81,6 +81,25 @@ class TestParser:
         assert args.command == "shard"
         assert args.shards == 4 and args.repeat == 2
 
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics", "f.txt"])
+        assert args.command == "metrics"
+        assert args.format == "prometheus" and args.shards == 1
+
+    def test_metrics_invalid_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "f.txt", "--format", "xml"])
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "f.txt"])
+        assert args.command == "trace"
+        assert args.id is None and args.repeat == 1
+
+    def test_serve_slow_ms_flag(self):
+        assert build_parser().parse_args(["serve", "f.txt"]).slow_ms == 0.0
+        args = build_parser().parse_args(["serve", "f.txt", "--slow-ms", "250"])
+        assert args.slow_ms == 250.0
+
 
 class TestCommands:
     def test_join_command(self, edge_file, capsys):
@@ -196,3 +215,64 @@ class TestCommands:
         assert main(["serve", edge_file, "--delta1", "2", "--delta2", "2"]) == 0
         out = capsys.readouterr().out
         assert "two-path:" in out and "strategy: mmjoin" in out
+
+    def test_metrics_command_prometheus(self, edge_file, capsys):
+        assert main(["metrics", edge_file, "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+        assert 'repro_queries_total{kind="two_path",path="cold"}' in out
+        assert 'repro_queries_total{kind="two_path",path="memo"} 1' in out
+        assert "# TYPE repro_query_seconds histogram" in out
+        assert 'le="+Inf"' in out
+
+    def test_metrics_command_json(self, edge_file, capsys):
+        import json
+
+        assert main(["metrics", edge_file, "--format", "json",
+                     "--delta1", "2", "--delta2", "2"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["repro_queries_total"]["kind"] == "counter"
+
+    def test_metrics_command_sharded(self, edge_file, capsys):
+        assert main(["metrics", edge_file, "--shards", "2",
+                     "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_shard_subplan_seconds" in out
+
+    def test_trace_command_prints_span_tree(self, edge_file, capsys):
+        assert main(["trace", edge_file, "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "slow query t" in out
+        assert "two_path" in out and "plan" in out
+        assert "explain:" in out
+
+    def test_trace_command_by_id(self, edge_file, capsys):
+        # The sample workload always runs a cold query first, so t000001 exists.
+        assert main(["trace", edge_file, "--id", "t000001",
+                     "--delta1", "2", "--delta2", "2"]) == 0
+        assert "slow query t000001" in capsys.readouterr().out
+
+    def test_trace_command_unknown_id(self, edge_file, capsys):
+        assert main(["trace", edge_file, "--id", "bogus",
+                     "--delta1", "2", "--delta2", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "no such trace: bogus" in out and "recorded:" in out
+
+    def test_serve_metrics_and_trace_commands(self, edge_file, capsys, tmp_path):
+        script = tmp_path / "commands.txt"
+        script.write_text(
+            "two-path\nappend 9 9\ntwo-path\nmetrics\nmetrics prom\n"
+            "trace t000001\ntrace\ntrace nope\nquit\n",
+            encoding="utf-8",
+        )
+        assert main(["serve", edge_file, "--script", str(script),
+                     "--delta1", "2", "--delta2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics [prom|json] | trace [id]" in out  # banner lists them
+        assert "queries (" in out                         # one-line summary
+        assert "# TYPE repro_queries_total counter" in out
+        assert "repro_writes_total" in out
+        assert "slow query t000001" in out
+        assert "no such trace" in out
+        # The exit summary fires even after quit.
+        assert out.rstrip().splitlines()[-1].startswith("metrics:")

@@ -36,7 +36,7 @@ from repro.joins.baseline import combinatorial_star, combinatorial_two_path
 from repro.joins.hash_join import hash_join_project_counts
 from repro.matmul.registry import make_default_registry
 from repro.plan.query import StarQuery, TwoPathQuery
-from repro.serve import QuerySession
+from repro.serve import QuerySession, TelemetryConfig
 from repro.setops.scj import scj_bruteforce
 from repro.setops.ssj import ssj_bruteforce
 
@@ -428,6 +428,55 @@ class TestShardedAgreesWithUnsharded:
             session.register(rel, name="L", sharded=True)
             result = session.two_path("L", "L", use_memo=False)
         assert result.pairs == expected
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry axis: tracing/metrics must be invisible in the output
+# --------------------------------------------------------------------------- #
+# False pins the disabled fast path, True the default-threshold instrumented
+# path, and the zero-threshold config additionally renders explain text and
+# records every span tree in the slow log.
+TELEMETRY_AXIS = (False, True, TelemetryConfig(slow_query_seconds=0.0))
+
+
+@pytest.mark.parametrize("telemetry", TELEMETRY_AXIS,
+                         ids=("off", "on", "record-all"))
+class TestTelemetryAgrees:
+    @settings(**DIFF_SETTINGS)
+    @given(pair=relation_pairs(max_size=80))
+    def test_session_paths_identical(self, telemetry, pair):
+        left, right = pair
+        expected = combinatorial_two_path(left, right)
+        expected_counts = hash_join_project_counts(left, right)
+        with QuerySession(config=MMJoinConfig(delta1=2, delta2=2),
+                          telemetry=telemetry) as session:
+            session.register(left, name="L")
+            session.register(right, name="R")
+            cold = session.two_path("L", "R", use_memo=False)
+            warm = session.two_path("L", "R", use_memo=False)
+            memo = session.two_path("L", "R")
+            counted = session.two_path("L", "R", counting=True, use_memo=False)
+        assert cold.pairs == expected
+        assert warm.pairs == expected
+        assert memo.pairs == expected
+        assert counted.counts == expected_counts
+
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    @given(rows=skewed_pair_lists(max_size=100))
+    def test_sharded_with_writes_identical(self, telemetry, rows):
+        skewed = Relation.from_pairs(rows, name="L")
+        config = MMJoinConfig(delta1=2, delta2=2)
+        with QuerySession(config=config, shards=3,
+                          telemetry=telemetry) as session:
+            session.register(skewed, name="L", sharded=True)
+            session.two_path("L", "L", use_memo=False)
+            session.append("L", [(97, 3), (98, 4)])
+            served = session.two_path("L", "L", use_memo=False)
+        oracle = _rel_from_rows(
+            set(map(tuple, np.asarray(skewed.data).tolist())) | {(97, 3), (98, 4)},
+            "L",
+        )
+        assert served.pairs == combinatorial_two_path(oracle, oracle)
 
 
 # --------------------------------------------------------------------------- #

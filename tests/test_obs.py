@@ -1,0 +1,380 @@
+"""Unit tests for the observability substrate (repro.obs).
+
+Covers the three tentpole pieces in isolation — trace span trees, the
+metrics registry with its snapshot/delta/exporter layers, and the bounded
+slow-query log — plus the Telemetry facade that the serving layer owns.
+Session integration lives in test_telemetry_session.py.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    DISABLED,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetrics,
+    SlowQueryEntry,
+    SlowQueryLog,
+    Telemetry,
+    TelemetryConfig,
+    Trace,
+    activate,
+    current_trace,
+    span,
+)
+from repro.obs.trace import NULL_SPAN
+
+
+class TestTrace:
+    def test_nested_spans_build_a_tree(self):
+        trace = Trace("t1", "two_path")
+        with trace.span("plan") as plan:
+            with trace.span("semijoin"):
+                pass
+            with trace.span("matmul") as mm:
+                mm.set("backend", "dense")
+        trace.finish()
+        assert trace.root.name == "two_path"
+        assert [child.name for child in trace.root.children] == ["plan"]
+        assert [child.name for child in plan.children] == ["semijoin", "matmul"]
+        assert trace.find("matmul").attrs == {"backend": "dense"}
+        assert trace.span_names() == ["two_path", "plan", "semijoin", "matmul"]
+
+    def test_span_timing_and_seconds(self):
+        trace = Trace("t1", "q")
+        with trace.span("work") as sp:
+            pass
+        trace.finish()
+        assert sp.end >= sp.start > 0.0
+        assert sp.seconds >= 0.0
+        assert trace.seconds >= sp.seconds
+
+    def test_module_span_is_null_without_active_trace(self):
+        assert current_trace() is None
+        assert span("anything", attr=1) is NULL_SPAN
+        # The null span is a usable context manager and absorbs set().
+        with span("anything") as sp:
+            assert sp.set("k", "v") is sp
+
+    def test_module_span_attaches_under_active_trace(self):
+        trace = Trace("t1", "q")
+        with activate(trace):
+            assert current_trace() is trace
+            with span("outer"):
+                with span("inner", shard=3):
+                    pass
+        assert current_trace() is None
+        assert trace.span_names() == ["q", "outer", "inner"]
+        assert trace.find("inner").attrs == {"shard": 3}
+
+    def test_activation_restores_previous_trace(self):
+        outer, inner = Trace("t1", "a"), Trace("t2", "b")
+        with activate(outer):
+            with activate(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+        assert current_trace() is None
+
+    def test_worker_threads_attach_under_submitting_span(self):
+        trace = Trace("t1", "q")
+        with trace.span("fanout") as fanout:
+            def task(i):
+                with trace.worker(fanout):
+                    with trace.span("subplan", shard=i):
+                        pass
+            threads = [threading.Thread(target=task, args=(i,)) for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        names = sorted(child.name for child in fanout.children)
+        assert names == ["subplan"] * 3
+        assert sorted(c.attrs["shard"] for c in fanout.children) == [0, 1, 2]
+
+    def test_worker_context_restores_prior_stack(self):
+        trace = Trace("t1", "q")
+        with trace.span("a") as a:
+            with trace.worker(trace.root):
+                with trace.span("from_worker"):
+                    pass
+            # Back on the original stack: new spans nest under "a" again.
+            with trace.span("after"):
+                pass
+        assert [c.name for c in trace.root.children] == ["a", "from_worker"]
+        assert [c.name for c in a.children] == ["after"]
+
+    def test_format_and_to_dict(self):
+        trace = Trace("t9", "star")
+        with trace.span("plan", k=3):
+            pass
+        trace.finish()
+        text = trace.format()
+        assert "trace t9 (star)" in text
+        assert "plan" in text and "k=3" in text
+        tree = trace.root.to_dict()
+        assert tree["name"] == "star"
+        assert tree["children"][0]["attrs"] == {"k": 3}
+
+    def test_find_all(self):
+        trace = Trace("t1", "q")
+        with trace.span("cache_lookup", kind="semijoin"):
+            pass
+        with trace.span("cache_lookup", kind="partition"):
+            pass
+        lookups = trace.root.find_all("cache_lookup")
+        assert [sp.attrs["kind"] for sp in lookups] == ["semijoin", "partition"]
+
+
+class TestMetricsRegistry:
+    def test_counter_with_labels(self):
+        metrics = MetricsRegistry()
+        metrics.inc("requests", kind="two_path")
+        metrics.inc("requests", 2, kind="two_path")
+        metrics.inc("requests", kind="star")
+        snap = metrics.snapshot()
+        assert snap.value("requests", kind="two_path") == 3
+        assert snap.value("requests", kind="star") == 1
+        assert snap.value("requests", kind="missing") == 0.0
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("ratio", 0.25, cache="artifacts")
+        metrics.set_gauge("ratio", 0.75, cache="artifacts")
+        assert metrics.snapshot().value("ratio", cache="artifacts") == 0.75
+
+    def test_histogram_buckets_and_overflow(self):
+        metrics = MetricsRegistry()
+        metrics.observe("lat", 0.0004)   # below first bound (0.0005)
+        metrics.observe("lat", 0.003)    # in the 0.005 bucket
+        metrics.observe("lat", 100.0)    # overflow
+        hist = metrics.snapshot().histogram("lat")
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(100.0034)
+        assert hist["bounds"] == LATENCY_BUCKETS
+        assert hist["counts"][0] == 1
+        assert hist["counts"][-1] == 1  # +Inf overflow
+
+    def test_label_order_does_not_matter(self):
+        metrics = MetricsRegistry()
+        metrics.inc("m", a="1", b="2")
+        metrics.inc("m", b="2", a="1")
+        assert metrics.snapshot().value("m", a="1", b="2") == 2
+
+    def test_kind_conflict_rejected(self):
+        metrics = MetricsRegistry()
+        metrics.inc("m")
+        with pytest.raises(ValueError, match="already registered"):
+            metrics.set_gauge("m", 1.0)
+
+    def test_concurrent_increments_are_not_lost(self):
+        metrics = MetricsRegistry()
+        counter = metrics.counter("hits")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.snapshot().value("hits") == 4000
+
+
+class TestSnapshotDelta:
+    def test_counter_and_histogram_subtract_gauge_keeps_later(self):
+        metrics = MetricsRegistry()
+        metrics.inc("c", 5)
+        metrics.observe("h", 0.01)
+        metrics.set_gauge("g", 1.0)
+        before = metrics.snapshot()
+        metrics.inc("c", 2)
+        metrics.observe("h", 0.02)
+        metrics.observe("h", 0.03)
+        metrics.set_gauge("g", 9.0)
+        delta = metrics.snapshot().delta(before)
+        assert delta.value("c") == 2
+        assert delta.value("g") == 9.0
+        hist = delta.histogram("h")
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.05)
+
+    def test_delta_keeps_series_new_since_earlier(self):
+        metrics = MetricsRegistry()
+        before = metrics.snapshot()
+        metrics.inc("fresh", 7)
+        assert metrics.snapshot().delta(before).value("fresh") == 7
+
+    def test_names_sorted(self):
+        metrics = MetricsRegistry()
+        metrics.inc("zz")
+        metrics.inc("aa")
+        assert metrics.snapshot().names() == ["aa", "zz"]
+
+
+class TestExporters:
+    def _snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.inc("repro_queries_total", 3, kind="two_path", path="warm")
+        metrics.set_gauge("repro_hit_ratio", 0.5, cache="artifacts")
+        metrics.observe("repro_query_seconds", 0.002, kind="two_path")
+        return metrics.snapshot()
+
+    def test_prometheus_text_format(self):
+        text = self._snapshot().to_prometheus()
+        assert '# TYPE repro_queries_total counter' in text
+        assert 'repro_queries_total{kind="two_path",path="warm"} 3' in text
+        assert '# TYPE repro_hit_ratio gauge' in text
+        assert 'repro_hit_ratio{cache="artifacts"} 0.5' in text
+        assert '# TYPE repro_query_seconds histogram' in text
+        # Cumulative buckets end at +Inf and agree with _count.
+        assert 'le="+Inf"} 1' in text
+        assert 'repro_query_seconds_count{kind="two_path"} 1' in text
+        assert 'repro_query_seconds_sum{kind="two_path"} 0.002' in text
+        assert text.endswith("\n")
+
+    def test_prometheus_bucket_counts_are_cumulative(self):
+        metrics = MetricsRegistry()
+        metrics.observe("h", 0.0001)
+        metrics.observe("h", 0.002)
+        lines = metrics.snapshot().to_prometheus().splitlines()
+        buckets = [int(line.rsplit(" ", 1)[1]) for line in lines if "h_bucket" in line]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 2
+
+    def test_prometheus_label_escaping(self):
+        metrics = MetricsRegistry()
+        metrics.inc("m", label='quo"te\\path')
+        text = metrics.snapshot().to_prometheus()
+        assert r'label="quo\"te\\path"' in text
+
+    def test_json_round_trip(self):
+        parsed = json.loads(self._snapshot().to_json())
+        assert parsed["repro_queries_total"]["kind"] == "counter"
+        series = parsed["repro_queries_total"]["series"]
+        assert series["kind=two_path,path=warm"] == 3
+        hist = parsed["repro_query_seconds"]["series"]["kind=two_path"]
+        assert hist["count"] == 1 and hist["overflow"] == 0
+
+
+class TestNullMetrics:
+    def test_every_call_is_a_noop(self):
+        metrics = NullMetrics()
+        metrics.inc("a", kind="x")
+        metrics.set_gauge("b", 1.0)
+        metrics.observe("c", 0.5)
+        metrics.counter("a").inc()
+        metrics.gauge("b").set(2.0)
+        metrics.histogram("c").observe(1.0)
+        snap = metrics.snapshot()
+        assert isinstance(snap, MetricsSnapshot)
+        assert snap.names() == []
+        assert snap.value("a", kind="x") == 0.0
+
+
+class TestSlowQueryLog:
+    def _entry(self, trace_id, seconds=1.0):
+        return SlowQueryEntry(Trace(trace_id, "q"), "q", "cold", seconds)
+
+    def test_ring_buffer_is_bounded(self):
+        log = SlowQueryLog(capacity=3)
+        for i in range(5):
+            log.record(self._entry(f"t{i}"))
+        assert len(log) == 3
+        assert [e.trace_id for e in log.entries()] == ["t2", "t3", "t4"]
+
+    def test_get_by_trace_id(self):
+        log = SlowQueryLog()
+        log.record(self._entry("t1"))
+        log.record(self._entry("t2"))
+        assert log.get("t1").trace_id == "t1"
+        assert log.get("missing") is None
+
+    def test_clear(self):
+        log = SlowQueryLog()
+        log.record(self._entry("t1"))
+        log.clear()
+        assert len(log) == 0
+
+    def test_entry_format_includes_span_tree_and_explain(self):
+        trace = Trace("t7", "two_path")
+        with trace.span("plan"):
+            pass
+        trace.finish()
+        entry = SlowQueryEntry(trace, "two_path", "cold", 0.5,
+                               explain_text="strategy: mmjoin")
+        text = entry.format()
+        assert "slow query t7" in text and "path=cold" in text
+        assert "plan" in text
+        assert "  strategy: mmjoin" in text
+
+    def test_entry_to_dict(self):
+        entry = self._entry("t1", seconds=0.25)
+        as_dict = entry.to_dict()
+        assert as_dict["trace_id"] == "t1"
+        assert as_dict["seconds"] == 0.25
+        assert as_dict["spans"]["name"] == "q"
+
+
+class TestTelemetryFacade:
+    def test_coerce_accepts_the_documented_knobs(self):
+        assert Telemetry.coerce(True).enabled
+        assert Telemetry.coerce(None).enabled
+        assert Telemetry.coerce(False) is DISABLED
+        config = TelemetryConfig(slow_query_seconds=1.5)
+        assert Telemetry.coerce(config).config is config
+        prebuilt = Telemetry()
+        assert Telemetry.coerce(prebuilt) is prebuilt
+        with pytest.raises(TypeError):
+            Telemetry.coerce("yes")
+
+    def test_disabled_facade_is_inert(self):
+        assert not DISABLED.enabled
+        assert DISABLED.start("two_path") is None
+        assert isinstance(DISABLED.metrics, NullMetrics)
+        DISABLED.observe_query(None, "two_path", "cold", 10.0)
+        DISABLED.observe_write(None, "append", "absorbed", 10.0)
+        assert len(DISABLED.slow_log) == 0
+        assert DISABLED.metrics.snapshot().names() == []
+
+    def test_start_mints_unique_trace_ids(self):
+        telemetry = Telemetry()
+        first, second = telemetry.start("a"), telemetry.start("b")
+        assert first.trace_id != second.trace_id
+        assert first.metrics is telemetry.metrics
+
+    def test_observe_query_records_latency_and_counts(self):
+        telemetry = Telemetry()
+        telemetry.observe_query(None, "two_path", "cold", 0.002)
+        snap = telemetry.metrics.snapshot()
+        assert snap.value("repro_queries_total", kind="two_path", path="cold") == 1
+        assert snap.histogram("repro_query_seconds",
+                              kind="two_path", path="cold")["count"] == 1
+
+    def test_slow_log_threshold(self):
+        telemetry = Telemetry(TelemetryConfig(slow_query_seconds=0.1))
+        fast, slow = telemetry.start("q"), telemetry.start("q")
+        telemetry.observe_query(fast, "q", "cold", 0.05)
+        assert len(telemetry.slow_log) == 0
+        telemetry.observe_query(slow, "q", "cold", 0.2)
+        assert [e.trace_id for e in telemetry.slow_log.entries()] == [slow.trace_id]
+
+    def test_threshold_zero_records_everything(self):
+        telemetry = Telemetry(TelemetryConfig(slow_query_seconds=0.0))
+        trace = telemetry.start("q")
+        telemetry.observe_query(trace, "q", "memo", 0.0)
+        assert len(telemetry.slow_log) == 1
+
+    def test_observe_write_counts_outcomes(self):
+        telemetry = Telemetry()
+        telemetry.observe_write(None, "append", "absorbed", 0.001, rows=8)
+        telemetry.observe_write(None, "delete", "folded", 0.001, rows=2)
+        snap = telemetry.metrics.snapshot()
+        assert snap.value("repro_writes_total", op="append", outcome="absorbed") == 1
+        assert snap.value("repro_writes_total", op="delete", outcome="folded") == 1
+        assert snap.value("repro_write_rows_total", op="append") == 8
