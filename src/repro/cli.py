@@ -117,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slow-query-log threshold in milliseconds "
                             "(default: 0 — record every query, so `trace <id>` "
                             "can replay any of them)")
+    serve.add_argument("--timeout-ms", type=float, default=0.0,
+                       help="per-command query deadline in milliseconds; an "
+                            "overrunning query is cancelled cooperatively and "
+                            "reported as a timeout (default: 0 — unbounded)")
+    serve.add_argument("--memory-budget-mb", type=float, default=0.0,
+                       help="admission-control budget for one query's "
+                            "extraction transient, in MiB; over-budget queries "
+                            "are forced onto tiled extraction or rejected "
+                            "(default: 0 — admit everything)")
 
     metrics = sub.add_parser(
         "metrics",
@@ -337,21 +346,32 @@ def _run_serve(args: argparse.Namespace) -> int:
     telemetry = TelemetryConfig(
         slow_query_seconds=max(float(getattr(args, "slow_ms", 0.0)), 0.0) / 1000.0
     )
+    budget_mb = max(float(getattr(args, "memory_budget_mb", 0.0)), 0.0)
+    timeout_ms = max(float(getattr(args, "timeout_ms", 0.0)), 0.0)
     with QuerySession(config=config, shards=shards,
                       lazy_merge_rows=max(int(getattr(args, "lazy_merge", 4096)), 0),
                       telemetry=telemetry,
+                      memory_budget_bytes=(
+                          int(budget_mb * (1 << 20)) if budget_mb else None
+                      ),
                       ) as session:
         session.register(relation, name="R", sharded=shards > 1)
         print(f"serving R ({len(relation)} tuples) from {args.path}"
               + (f" across {session.sharding_spec.num_shards} shards"
                  if shards > 1 else ""))
         print(f"commands: {SERVE_COMMANDS}")
-        for raw in lines:
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
-            if _serve_command(session, line) is False:
-                break
+        try:
+            for raw in lines:
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if _serve_command(session, line,
+                                  timeout_ms=timeout_ms or None) is False:
+                    break
+        except KeyboardInterrupt:
+            # Clean break: the `with` still tears down the persistent
+            # pools, and the metrics digest below still prints.
+            print("\ninterrupted")
         print(_metrics_summary(session))
     return 0
 
@@ -385,10 +405,26 @@ def _metrics_summary(session) -> str:
             f"{len(session.telemetry.slow_log)} slow-log entries")
 
 
-def _serve_command(session, line: str) -> bool:
-    """Execute one serve-loop command; returns False on quit."""
+def _serve_command(session, line: str,
+                   timeout_ms: "float | None" = None) -> bool:
+    """Execute one serve-loop command; returns False on quit.
+
+    ``timeout_ms`` installs a cooperative deadline around the command, so
+    any query it triggers (including through the convenience methods) is
+    cancelled and reported instead of hanging the loop.
+    """
+    from repro.errors import (
+        Deadline,
+        QueryTimeoutError,
+        ReproError,
+        install_deadline,
+        restore_deadline,
+    )
+
     parts = line.split()
     command = parts[0].lower()
+    deadline = Deadline(timeout_ms) if timeout_ms else None
+    token = install_deadline(deadline) if deadline is not None else None
     try:
         if command in ("quit", "exit"):
             return False
@@ -449,8 +485,17 @@ def _serve_command(session, line: str) -> bool:
                 print(entry.format())
         else:
             print(f"unknown command: {line} (expected {SERVE_COMMANDS})")
+    except QueryTimeoutError as exc:
+        session.telemetry.metrics.inc("repro_deadline_exceeded_total",
+                                      kind="cli")
+        print(f"error[timeout]: {exc}")
+    except ReproError as exc:  # typed serving-path errors keep their name
+        print(f"error[{type(exc).__name__}]: {exc}")
     except Exception as exc:  # serving loop must survive bad commands
         print(f"error: {exc}")
+    finally:
+        if deadline is not None:
+            restore_deadline(token)
     return True
 
 

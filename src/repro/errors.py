@@ -1,0 +1,178 @@
+"""Typed error taxonomy and query deadlines for the serving path.
+
+Every failure the serving layer can surface derives from :class:`ReproError`,
+so callers (the CLI serve loop, the async API, user code) can catch one base
+class instead of fishing bare ``ValueError`` / ``RuntimeError`` out of the
+pipeline:
+
+* :class:`QueryTimeoutError` — a query overran its deadline; carries the
+  partial span tree so forensics see exactly where the budget went;
+* :class:`WorkerCrashError` — a pool worker crashed (or hung past the hang
+  timeout) while running a task; the parallel executor retries these;
+* :class:`AdmissionRejected` — the cost model predicts the query would blow
+  the session's memory budget even under tiled extraction;
+* :class:`ShardFailure` — one shard subplan kept failing after its retries
+  (``partial_results=True`` turns this into a skipped shard instead).
+
+:class:`Deadline` is the cooperative-cancellation carrier.  It propagates the
+same way traces do (see :mod:`repro.obs.trace`): :func:`install_deadline` /
+:func:`restore_deadline` stash it in a thread-local around one served call,
+the parallel executor re-installs it inside pool workers, and the
+module-level :func:`check_deadline` hook is what long loops (expansion
+chunks, extraction bands, the operator loop) call — one thread-local read
+and a ``None`` check when no deadline is active, so always-on checkpoints
+cost nanoseconds on the ordinary path.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic
+from typing import Any, Callable, Optional
+
+
+class ReproError(Exception):
+    """Base class for every typed serving-path error."""
+
+
+class QueryTimeoutError(ReproError):
+    """A query overran its deadline.
+
+    ``trace`` carries the partial span tree recorded up to the checkpoint
+    that fired (``None`` when the session's telemetry is disabled);
+    ``site`` names that checkpoint.
+    """
+
+    def __init__(self, message: str, *, site: str = "",
+                 timeout_ms: float = 0.0, elapsed_ms: float = 0.0,
+                 trace: Any = None) -> None:
+        super().__init__(message)
+        self.site = site
+        self.timeout_ms = timeout_ms
+        self.elapsed_ms = elapsed_ms
+        self.trace = trace
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker crashed — or hung — while running a task.
+
+    ``hung=True`` marks a worker that never returned (detected by the
+    executor's hang timeout): the thread cannot be reclaimed, so recovery
+    additionally rebuilds the pool before retrying.
+    """
+
+    def __init__(self, message: str, *, hung: bool = False) -> None:
+        super().__init__(message)
+        self.hung = hung
+
+
+class AdmissionRejected(ReproError):
+    """Admission control refused a query: predicted memory exceeds budget."""
+
+    def __init__(self, message: str, *, estimate_bytes: int = 0,
+                 budget_bytes: int = 0) -> None:
+        super().__init__(message)
+        self.estimate_bytes = int(estimate_bytes)
+        self.budget_bytes = int(budget_bytes)
+
+
+class ShardFailure(ReproError):
+    """One shard subplan failed after exhausting its per-shard retries."""
+
+    def __init__(self, message: str, *, shard: Any = None,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = int(attempts)
+
+
+class UnknownRelationError(ReproError, KeyError):
+    """A query or write referenced a relation the session never registered.
+
+    Also a ``KeyError`` so pre-taxonomy callers keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr-quotes the message
+        return Exception.__str__(self)
+
+
+class StrictDeleteError(ReproError, ValueError):
+    """A strict delete referenced tuples absent from the relation.
+
+    Also a ``ValueError`` so pre-taxonomy callers keep working.
+    """
+
+
+class Deadline:
+    """An absolute time budget for one served call.
+
+    ``clock`` is injectable (tests drive a fake clock); it must be a
+    monotonic ``() -> seconds`` callable.  :meth:`check` is the cooperative
+    cancellation point: cheap when not expired, raises a fully-described
+    :class:`QueryTimeoutError` when past due.
+    """
+
+    __slots__ = ("timeout_ms", "_clock", "_expires_at")
+
+    def __init__(self, timeout_ms: float,
+                 clock: Callable[[], float] = monotonic) -> None:
+        timeout_ms = float(timeout_ms)
+        if timeout_ms <= 0:
+            raise ValueError(f"timeout_ms must be positive, got {timeout_ms}")
+        self.timeout_ms = timeout_ms
+        self._clock = clock
+        self._expires_at = clock() + timeout_ms / 1000.0
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once past due)."""
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires_at
+
+    def check(self, site: str = "") -> None:
+        """Raise :class:`QueryTimeoutError` when the budget is spent."""
+        over = self._clock() - self._expires_at
+        if over >= 0:
+            elapsed_ms = self.timeout_ms + over * 1000.0
+            raise QueryTimeoutError(
+                f"query exceeded its {self.timeout_ms:g} ms deadline "
+                f"(elapsed {elapsed_ms:.1f} ms"
+                + (f", checkpoint {site!r})" if site else ")"),
+                site=site, timeout_ms=self.timeout_ms, elapsed_ms=elapsed_ms,
+            )
+
+
+# The active deadline is per-thread, exactly like the active trace: one
+# served call installs its deadline on the serving thread, and the parallel
+# executor re-installs it inside each pool worker for the task's duration.
+_ACTIVE = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline active on this thread (``None`` when unbounded)."""
+    return getattr(_ACTIVE, "deadline", None)
+
+
+def install_deadline(deadline: Optional[Deadline]) -> Any:
+    """Install ``deadline`` for this thread; returns a restore token."""
+    prev = getattr(_ACTIVE, "deadline", None)
+    _ACTIVE.deadline = deadline
+    return prev
+
+
+def restore_deadline(token: Any) -> None:
+    """Undo a matching :func:`install_deadline`."""
+    _ACTIVE.deadline = token
+
+
+def check_deadline(site: str = "") -> None:
+    """Cooperative cancellation checkpoint (the hook long loops call).
+
+    One thread-local read when no deadline is active — cheap enough to sit
+    inside the expansion-chunk and extraction-band loops unconditionally.
+    """
+    deadline = getattr(_ACTIVE, "deadline", None)
+    if deadline is not None:
+        deadline.check(site)

@@ -38,6 +38,7 @@ from repro.exec.state import (
     CountingPartition,
     ExecutionState,
 )
+from repro.faults import SITE_BACKEND_MATMUL, fault_site
 from repro.joins.baseline import (
     cartesian_arrays,
     combinatorial_star_block,
@@ -440,6 +441,9 @@ class MatMulHeavy(PhysicalOperator):
         if state.fallback_combinatorial:
             self.skip("heavy residual empty; light operator ran the full join")
             return
+        # Named injection site for backend exceptions: everything below
+        # dispatches into a matmul backend.
+        fault_site(SITE_BACKEND_MATMUL)
         if state.mode == MODE_COUNTS:
             self._run_counts(state)
         elif state.mode == MODE_STAR:

@@ -1,0 +1,227 @@
+"""Deterministic fault injection, and the retry policy that answers it.
+
+The serving path is instrumented with *named fault sites* — single calls to
+:func:`fault_site` at the places real failures originate:
+
+* ``pool.task`` — inside each parallel-executor pool task (worker crashes,
+  slow/hung workers);
+* ``shard.subplan`` — at the top of each shard subplan evaluation;
+* ``extract.alloc`` — before the extraction kernels allocate their
+  boolean/coordinate temporaries (allocation failures);
+* ``backend.matmul`` — before a matmul backend multiplies (backend errors).
+
+A :class:`FaultPlan` is a seeded, bounded schedule of failures against those
+sites: each :class:`FaultRule` names a site, a fault kind (``crash`` /
+``slow`` / ``alloc`` / ``error``), how many times it fires and with what
+probability (drawn from the plan's own RNG, so a given seed replays the
+exact same failure sequence).  :func:`inject` installs a plan process-wide
+for a ``with`` block — pool worker threads must see it too, so the hook is a
+module global, not a thread-local — and the plan's :attr:`FaultPlan.fired`
+log records every injection for test assertions.
+
+:class:`RetryPolicy` is the recovery half: bounded attempts with jittered
+exponential backoff, deterministic under a seed.  :func:`run_with_retry`
+drives a callable through a policy with an injectable sleep/RNG (unit tests
+use a fake clock and assert the exact backoff schedule).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import WorkerCrashError
+
+# Instrumented site names (kept in one place so tests and instrumentation
+# cannot drift apart on spelling).
+SITE_POOL_TASK = "pool.task"
+SITE_SHARD_SUBPLAN = "shard.subplan"
+SITE_EXTRACT_ALLOC = "extract.alloc"
+SITE_BACKEND_MATMUL = "backend.matmul"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled failure mode at a named site.
+
+    ``count`` bounds how many times the rule fires (``crash`` rules with
+    ``count=1`` model a single worker death; a huge count models an
+    unrecoverable fault).  ``probability`` < 1 makes firing a seeded coin
+    flip per matching call.  ``delay_ms`` only applies to ``slow`` faults.
+    """
+
+    site: str
+    kind: str  # "crash" | "slow" | "alloc" | "error"
+    count: int = 1
+    probability: float = 1.0
+    delay_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "slow", "alloc", "error"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+
+
+class FaultPlan:
+    """A seeded, bounded schedule of injected failures.
+
+    One RNG seeded at construction drives every probabilistic decision, so
+    the same plan (seed + rules) replays the identical failure sequence —
+    the chaos axis of the differential harness depends on that.  ``sleep``
+    is injectable so slow-task faults can run against a fake clock.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.rules = list(rules)
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+        self._remaining = [rule.count for rule in self.rules]
+        self._sleep = sleep
+        self.fired: List[Tuple[str, str]] = []
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every rule has fired its full count."""
+        return all(left == 0 for left in self._remaining)
+
+    def maybe(self, site: str) -> None:
+        """Fire the first armed rule matching ``site`` (if its coin lands).
+
+        ``crash`` raises :class:`~repro.errors.WorkerCrashError`, ``alloc``
+        raises ``MemoryError``, ``error`` raises ``RuntimeError`` (a stand-in
+        for an arbitrary backend exception), ``slow`` sleeps ``delay_ms``.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.site != site or self._remaining[index] == 0:
+                continue
+            if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                continue
+            self._remaining[index] -= 1
+            self.fired.append((site, rule.kind))
+            if rule.kind == "crash":
+                raise WorkerCrashError(f"injected worker crash at {site!r}")
+            if rule.kind == "alloc":
+                raise MemoryError(f"injected allocation failure at {site!r}")
+            if rule.kind == "error":
+                raise RuntimeError(f"injected backend error at {site!r}")
+            self._sleep(rule.delay_ms / 1000.0)
+            return
+
+
+# The active plan is a module global (NOT a thread-local): injected faults
+# must fire inside pool worker threads, which never see the installing
+# thread's locals.  ``None`` is the permanent production state; the hook
+# below reads one global and compares against ``None``.
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _ACTIVE_PLAN
+
+
+def fault_site(site: str) -> None:
+    """The injection hook instrumented code calls at each named site."""
+    plan = _ACTIVE_PLAN
+    if plan is not None:
+        plan.maybe(site)
+
+
+class _Injection:
+    """Context manager installing a fault plan process-wide."""
+
+    __slots__ = ("_plan", "_prev")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self._prev: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        global _ACTIVE_PLAN
+        self._prev = _ACTIVE_PLAN
+        _ACTIVE_PLAN = self._plan
+        return self._plan
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        global _ACTIVE_PLAN
+        _ACTIVE_PLAN = self._prev
+        return False
+
+
+def inject(plan: FaultPlan) -> _Injection:
+    """Install ``plan`` for the dynamic extent of a ``with`` block."""
+    return _Injection(plan)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, jittered exponential backoff.
+
+    ``max_attempts`` counts the first try: 3 means one try plus at most two
+    retries.  The ``attempt``-th retry (1-based) backs off
+    ``base_delay_ms * 2**(attempt-1)`` capped at ``max_delay_ms``, with a
+    uniform jitter of ±``jitter`` (as a fraction of the delay) drawn from a
+    seeded RNG — deterministic given the seed, decorrelated across retries.
+    """
+
+    max_attempts: int = 3
+    base_delay_ms: float = 5.0
+    max_delay_ms: float = 100.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    def backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        """Delay before the ``attempt``-th retry (1-based), in seconds."""
+        delay_ms = min(self.base_delay_ms * (2.0 ** (attempt - 1)),
+                       self.max_delay_ms)
+        if self.jitter > 0.0:
+            delay_ms *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(delay_ms, 0.0) / 1000.0
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def run_with_retry(
+    func: Callable[[], Any],
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    retryable: Tuple[Type[BaseException], ...] = (WorkerCrashError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> Any:
+    """Call ``func`` under ``policy``, retrying on ``retryable`` errors.
+
+    ``sleep`` is injectable for fake-clock tests; ``on_retry(attempt, exc)``
+    fires before each backoff (metrics hooks).  The last error propagates
+    unchanged once attempts are exhausted.
+    """
+    rng = policy.rng()
+    attempt = 0
+    while True:
+        try:
+            return func()
+        except retryable as exc:
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            delay = policy.backoff_seconds(attempt, rng)
+            if delay > 0.0:
+                sleep(delay)

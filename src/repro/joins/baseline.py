@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.relation import Relation
+from repro.errors import check_deadline
 from repro.joins.leapfrog import leapfrog_intersection
 from repro.joins.project import Deduplicator
 
@@ -129,10 +130,14 @@ def deduped_probe_block(
     probe_ys = np.asarray(probe_ys, dtype=np.int64)
     if probe_xs.size == 0 or len(other) == 0:
         return PairBlock.empty(2)
-    parts = [
-        probe_pairs_block(probe_xs[sl], probe_ys[sl], other, flip=flip).dedup()
-        for sl in _probe_slices(probe_ys, other, chunk_rows)
-    ]
+    parts: List[PairBlock] = []
+    for sl in _probe_slices(probe_ys, other, chunk_rows):
+        # Cooperative cancellation point: each expansion chunk is the unit of
+        # deadline granularity for the combinatorial light path.
+        check_deadline("expand.chunk")
+        parts.append(
+            probe_pairs_block(probe_xs[sl], probe_ys[sl], other, flip=flip).dedup()
+        )
     if not parts:
         return PairBlock.empty(2)
     if len(parts) == 1:
@@ -183,6 +188,7 @@ def counted_probe_block(
         return CountedPairBlock.empty(2)
     merged: CountedPairBlock | None = None
     for sl in _probe_slices(probe_ys, other, chunk_rows):
+        check_deadline("expand.chunk")
         expansion = probe_pairs_block(probe_xs[sl], probe_ys[sl], other)
         part = CountedPairBlock.from_expansion(expansion).dedup()
         merged = part if merged is None else merged.concat(part)
@@ -223,6 +229,7 @@ def star_expansion_block(
     pending_rows = 0
     compacted: List[PairBlock] = []
     for lists in _star_neighbour_lists(relations, restrict_to):
+        check_deadline("expand.chunk")
         combos = cartesian_arrays(lists)
         pending.append(combos)
         pending_rows += combos.shape[0]
@@ -258,6 +265,7 @@ def star_counted_block(
         return part if acc is None else acc.concat(part)
 
     for lists in _star_neighbour_lists(relations, None):
+        check_deadline("expand.chunk")
         combos = cartesian_arrays(lists)
         pending.append(combos)
         pending_rows += combos.shape[0]

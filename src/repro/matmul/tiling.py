@@ -61,6 +61,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.pairblock import CountedPairBlock, PairBlock
+from repro.errors import check_deadline
+from repro.faults import SITE_EXTRACT_ALLOC, fault_site
 
 # Products at most this many cells are scanned in one shot: the boolean
 # temporary is tiny and per-band Python overhead would dominate.
@@ -266,6 +268,7 @@ def _tiled_nonzero_coords(
 
     if scan_mode == MODE_FULL:
         # One-shot scan; the mask is computed once and reused for the values.
+        fault_site(SITE_EXTRACT_ALLOC)
         mask = arr > threshold
         rows, cols = np.nonzero(mask)
         out = (rows, cols, arr[mask]) if want_values else (rows, cols)
@@ -312,6 +315,10 @@ def _tiled_nonzero_coords(
     bailed_at: Optional[int] = None
     band_index = 0
     for lo in range(0, n_rows, band_rows):
+        # Cooperative cancellation point: one band is the unit of deadline
+        # granularity (and of allocation-fault injection) for extraction.
+        check_deadline("extract.band")
+        fault_site(SITE_EXTRACT_ALLOC)
         if bail_enabled and rows_seen > 0:
             live_frac = live_seen / rows_seen
             sat_frac = saturated_seen / live_seen if live_seen else 0.0

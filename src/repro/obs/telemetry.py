@@ -104,6 +104,18 @@ class Telemetry:
         return self._metrics
 
     @property
+    def registry(self) -> Any:
+        """The raw registry — no pending-query fold.
+
+        For per-query hot-path increments (admission decisions): reading
+        :attr:`metrics` there would pay the deferred query fold inside the
+        serving window, which is exactly the cost the deferral moves out
+        of it.  Direct increments are visible to any later snapshot — the
+        fold only *adds* queued query records, it never rewrites counters.
+        """
+        return self._metrics
+
+    @property
     def slow_log(self) -> SlowQueryLog:
         """The slow-query ring, with every pending query folded in first."""
         if self._pending:

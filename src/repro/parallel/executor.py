@@ -26,14 +26,23 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set, Tuple, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple, TypeVar
 
 import numpy as np
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
 from repro.data.relation import Relation
+from repro.errors import (
+    QueryTimeoutError,
+    WorkerCrashError,
+    current_deadline,
+    install_deadline,
+    restore_deadline,
+)
+from repro.faults import DEFAULT_RETRY_POLICY, SITE_POOL_TASK, RetryPolicy, fault_site
 from repro.matmul.dense import accumulation_dtype
 from repro.obs.trace import current_trace
 
@@ -58,39 +67,197 @@ def _traced_task(trace, func: Callable[[T], R]) -> Callable[[T], R]:
     return run
 
 
+def _pool_task(func: Callable[[T], R], deadline: Any) -> Callable[[T], R]:
+    """Carry the caller's deadline into pool workers; fire the fault site.
+
+    Installed around every pool task so (a) cooperative-cancellation
+    checkpoints inside the task see the submitting query's deadline and
+    (b) the ``pool.task`` fault-injection site covers real worker execution.
+    """
+
+    def run(item: T) -> R:
+        token = install_deadline(deadline)
+        try:
+            fault_site(SITE_POOL_TASK)
+            return func(item)
+        finally:
+            restore_deadline(token)
+
+    return run
+
+
 @dataclass
 class ParallelExecutor:
-    """A small thread-pool wrapper with chunking helpers.
+    """A small thread-pool wrapper with chunking helpers and crash recovery.
 
     With ``persistent=True`` the executor keeps one thread pool alive across
     ``map`` calls instead of spinning a fresh pool up per call — the serving
     layer (:class:`~repro.serve.session.QuerySession`) hands every operator
     the same persistent executor so repeated queries skip pool start-up.
+
+    ``map`` is resilient: a task that raises
+    :class:`~repro.errors.WorkerCrashError` (or a broken pool) is retried
+    under ``retry_policy`` — rebuilding the persistent pool first when the
+    worker *hung* (``hang_timeout`` seconds without returning) or the pool
+    broke — and once retries are exhausted the item degrades to inline
+    execution on the caller thread.  Sibling tasks' results are never
+    discarded by one task's failure.
     """
 
     cores: int = 1
     persistent: bool = False
+    retry_policy: Optional[RetryPolicy] = None
+    hang_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.cores = max(int(self.cores), 1)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        self._degraded = False
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool was abandoned as unrecoverable (inline mode)."""
+        return self._degraded
 
     def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``func`` to every item, in parallel when cores > 1."""
-        if self.cores == 1 or len(items) <= 1:
+        if self.cores == 1 or len(items) <= 1 or self._degraded:
             return [func(item) for item in items]
         # Pool workers run on their own threads, where the caller's active
-        # trace is invisible; wrap the task so each worker (a) reports its
-        # queue wait and (b) roots its spans under the submitting span —
-        # worker spans ship back with the results.
+        # trace (and deadline) is invisible; wrap the task so each worker
+        # (a) reports its queue wait, (b) roots its spans under the
+        # submitting span — worker spans ship back with the results — and
+        # (c) sees the submitting query's deadline at its checkpoints.
         trace = current_trace()
+        task = _pool_task(func, current_deadline())
         if trace is not None:
-            func = _traced_task(trace, func)
+            task = _traced_task(trace, task)
+        metrics = trace.metrics if trace is not None else None
         if self.persistent:
-            return list(self._ensure_pool().map(func, items))
+            return self._map_resilient(self._ensure_pool(), task, func,
+                                       items, metrics)
         with ThreadPoolExecutor(max_workers=self.cores) as pool:
-            return list(pool.map(func, items))
+            return self._map_resilient(pool, task, func, items, metrics)
+
+    def _map_resilient(
+        self,
+        pool: ThreadPoolExecutor,
+        task: Callable[[T], R],
+        func: Callable[[T], R],
+        items: Sequence[T],
+        metrics: Any,
+    ) -> List[R]:
+        deadline = current_deadline()
+        try:
+            futures = [pool.submit(task, item) for item in items]
+        except RuntimeError:
+            # Broken pool (or racing close()): this call runs inline; the
+            # recovery machinery below only engages for per-task failures.
+            self._note_degraded(metrics)
+            return [func(item) for item in items]
+        results: List[R] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(self._await(future, deadline))
+            except QueryTimeoutError:
+                for later in futures[index + 1:]:
+                    later.cancel()
+                raise
+            except (WorkerCrashError, BrokenExecutor) as exc:
+                results.append(
+                    self._recover(task, func, items[index], exc, metrics,
+                                  deadline)
+                )
+        return results
+
+    def _await(self, future: Any, deadline: Any) -> Any:
+        """One future's result, watching the deadline and the hang timeout."""
+        hang = self.hang_timeout
+        if deadline is None and hang is None:
+            return future.result()
+        waited = 0.0
+        while True:
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    future.cancel()
+                    deadline.check("pool.await")
+                timeout = remaining if hang is None else min(remaining,
+                                                             hang - waited)
+            else:
+                timeout = hang - waited
+            try:
+                return future.result(timeout=max(timeout, 1e-3))
+            except FuturesTimeout:
+                waited += max(timeout, 1e-3)
+                if hang is not None and waited >= hang:
+                    future.cancel()
+                    raise WorkerCrashError(
+                        f"pool worker hung past {hang:g}s", hung=True
+                    ) from None
+
+    def _recover(
+        self,
+        task: Callable[[T], R],
+        func: Callable[[T], R],
+        item: T,
+        first_exc: BaseException,
+        metrics: Any,
+        deadline: Any,
+    ) -> R:
+        """Retry one failed task under the policy; degrade inline at the end."""
+        policy = self.retry_policy or DEFAULT_RETRY_POLICY
+        rng = policy.rng()
+        exc = first_exc
+        for attempt in range(1, policy.max_attempts):
+            if metrics is not None:
+                metrics.inc("repro_retries_total", scope="pool")
+            delay = policy.backoff_seconds(attempt, rng)
+            if deadline is not None:
+                delay = min(delay, max(deadline.remaining(), 0.0))
+            if delay > 0.0:
+                time.sleep(delay)
+            try:
+                if self.persistent:
+                    # A hung worker's thread is lost capacity and a broken
+                    # pool accepts no work: rebuild before resubmitting.
+                    if isinstance(exc, BrokenExecutor) or getattr(exc, "hung", False):
+                        self._rebuild_pool(metrics)
+                    future = self._ensure_pool().submit(task, item)
+                    return self._await(future, deadline)
+                return task(item)
+            except (WorkerCrashError, BrokenExecutor) as retry_exc:
+                exc = retry_exc
+        # Retries exhausted: run the raw function inline on the caller
+        # thread (bypassing the pool and its task instrumentation).  Pool-
+        # level failures additionally mark the executor degraded so later
+        # ``map`` calls skip the doomed pool entirely.
+        if isinstance(exc, BrokenExecutor) or getattr(exc, "hung", False):
+            self._degraded = True
+        if metrics is not None:
+            metrics.inc("repro_degraded_total", scope="pool")
+        return func(item)
+
+    def _note_degraded(self, metrics: Any) -> None:
+        self._degraded = True
+        if metrics is not None:
+            metrics.inc("repro_degraded_total", scope="pool")
+
+    def _rebuild_pool(self, metrics: Any = None) -> ThreadPoolExecutor:
+        """Abandon the current persistent pool and start a fresh one.
+
+        ``shutdown(wait=False)`` lets already-queued sibling tasks finish on
+        the old pool (their futures stay valid) without blocking recovery on
+        a thread that may never return.
+        """
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+        if metrics is not None:
+            metrics.inc("repro_pool_rebuilds_total")
+        return self._ensure_pool()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         # Locked: concurrent first calls racing here would each build a pool

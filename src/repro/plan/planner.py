@@ -23,6 +23,7 @@ from typing import Any, List, Optional
 
 from repro.core.config import DEFAULT_CONFIG, MMJoinConfig
 from repro.core.optimizer import CostBasedOptimizer, OptimizerDecision
+from repro.errors import check_deadline
 from repro.exec.operators import (
     CombinatorialLight,
     DedupMerge,
@@ -197,6 +198,7 @@ class PhysicalPlan:
         with plan_span:
             if plan_span is NULL_SPAN:
                 for operator in self.operators:
+                    check_deadline("plan.operator")
                     operator(state)
                     if operator.status == "ran":
                         state.timings[operator.name] = operator.actual_seconds
@@ -209,6 +211,7 @@ class PhysicalPlan:
                 clock = time.perf_counter
                 marks = [clock()]
                 for operator in self.operators:
+                    check_deadline("plan.operator")
                     operator(state)
                     marks.append(clock())
                     if operator.status == "ran":

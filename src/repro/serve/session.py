@@ -40,12 +40,13 @@ so there is exactly one evaluation path in the repository.
 from __future__ import annotations
 
 import asyncio
+import atexit
 import itertools
 import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -57,8 +58,19 @@ from repro.data.catalog import Catalog
 from repro.data.pairblock import CountedPairBlock, PairBlock
 from repro.data.relation import Relation
 from repro.data.setfamily import SetFamily
+from repro.errors import (
+    AdmissionRejected,
+    Deadline,
+    QueryTimeoutError,
+    StrictDeleteError,
+    UnknownRelationError,
+    install_deadline,
+    restore_deadline,
+)
+from repro.faults import RetryPolicy
 from repro.matmul.cost_model import MatMulCostModel
 from repro.matmul.registry import BackendRegistry, make_default_registry
+from repro.matmul.tiling import choose_tile_rows
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.telemetry import Telemetry, serving_path
 from repro.obs.trace import activate as trace_activate
@@ -119,8 +131,10 @@ class SessionContext:
     tokens so artifacts computed from them remain keyable.
     """
 
-    def __init__(self, artifacts: ArtifactCache) -> None:
+    def __init__(self, artifacts: ArtifactCache,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.artifacts = artifacts
+        self.retry_policy = retry_policy
         self._tokens: Dict[int, Tuple[Any, Relation]] = {}
         self._executors: Dict[int, ParallelExecutor] = {}
         self._delta_parents: "OrderedDict[Any, Any]" = OrderedDict()
@@ -201,7 +215,8 @@ class SessionContext:
         with self._lock:
             executor = self._executors.get(cores)
             if executor is None:
-                executor = ParallelExecutor(cores=cores, persistent=True)
+                executor = ParallelExecutor(cores=cores, persistent=True,
+                                            retry_policy=self.retry_policy)
                 self._executors[cores] = executor
             return executor
 
@@ -255,6 +270,13 @@ class SessionResult:
         if self._counts_cache is None:
             self._counts_cache = self.result_counted.to_dict()
         return self._counts_cache
+
+    @property
+    def partial(self) -> bool:
+        """True when failed shards were skipped (``partial_results=True``)."""
+        explanation = self.explanation
+        return bool(explanation is not None
+                    and explanation.session_stats.get("partial"))
 
     @property
     def strategy(self) -> str:
@@ -349,6 +371,16 @@ class QuerySession:
         prebuilt :class:`~repro.obs.telemetry.Telemetry` customises the
         slow-query threshold / shares one registry across sessions.  See
         :meth:`metrics` and :attr:`Telemetry.slow_log`.
+    memory_budget_bytes:
+        Admission-control budget for one query's extraction transient
+        (``None`` = admit everything).  Queries whose estimated dense
+        temporary exceeds it are forced onto tiled extraction when a band
+        fits, and rejected with :class:`~repro.errors.AdmissionRejected`
+        otherwise.  See :meth:`submit`.
+    retry_policy:
+        Retry schedule for crashed/hung pool workers and failing shard
+        subplans (``None`` = the default bounded jittered-exponential
+        policy, :data:`~repro.faults.DEFAULT_RETRY_POLICY`).
     """
 
     def __init__(
@@ -364,9 +396,15 @@ class QuerySession:
         shard_result_cache: bool = True,
         lazy_merge_rows: int = 4096,
         telemetry: Any = True,
+        memory_budget_bytes: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.config = config
         self.telemetry = Telemetry.coerce(telemetry)
+        self.memory_budget_bytes = (
+            int(memory_budget_bytes) if memory_budget_bytes is not None else None
+        )
+        self.retry_policy = retry_policy
         if registry is not None:
             self.registry = registry
             self.cost_model = cost_model if cost_model is not None else registry.cost_model
@@ -376,7 +414,7 @@ class QuerySession:
         self.catalog = Catalog()
         self.artifacts = ArtifactCache(artifact_bytes, name="artifacts")
         self.memo = ArtifactCache(memo_bytes, name="memo")
-        self.context = SessionContext(self.artifacts)
+        self.context = SessionContext(self.artifacts, retry_policy=retry_policy)
         self.feedback = CostFeedback(cost_model=self.cost_model if feedback else None)
         self._feedback_enabled = bool(feedback)
         self._versions: Dict[str, int] = {}
@@ -403,6 +441,11 @@ class QuerySession:
         self._sharding_spec: Optional[ShardingSpec] = None
         self._router = ShardRouter(self._resolve_sharded)
         self._shard_counters: Dict[int, Dict[str, int]] = {}
+        # The persistent pools must not outlive the interpreter even when a
+        # caller forgets close(): close() is idempotent and atexit-backed
+        # (and unregisters itself once run).
+        self._closed = False
+        atexit.register(self.close)
 
     # ------------------------------------------------------------------ #
     # Catalog management
@@ -454,7 +497,9 @@ class QuerySession:
         every shard token is invalidated along with the base artifacts.
         """
         if name not in self.catalog:
-            raise KeyError(f"cannot update unregistered relation {name!r}")
+            raise UnknownRelationError(
+                f"cannot update unregistered relation {name!r}"
+            )
         with self._lock:
             self._families.pop(name, None)
             return self.register(relation, name=name,
@@ -487,7 +532,9 @@ class QuerySession:
         with self._lock:
             container = self._sharded.get(name)
             if container is None:
-                raise KeyError(f"relation {name!r} is not registered sharded")
+                raise UnknownRelationError(
+                    f"relation {name!r} is not registered sharded"
+                )
             return container
 
     def _drop_sharding(self, name: str) -> None:
@@ -660,7 +707,9 @@ class QuerySession:
         delta = _delta_rows(rows)
         with self._lock:
             if name not in self.catalog:
-                raise KeyError(f"cannot write to unregistered relation {name!r}")
+                raise UnknownRelationError(
+                    f"cannot write to unregistered relation {name!r}"
+                )
             if delta.shape[0] == 0:
                 return name, "noop", 0  # no version bump, no invalidation
             if op == "-" and strict:
@@ -669,7 +718,7 @@ class QuerySession:
                 )
                 missing = PairBlock.from_array(delta).difference(current)
                 if len(missing):
-                    raise ValueError(
+                    raise StrictDeleteError(
                         f"delete from {name!r}: {len(missing)} rows not "
                         f"present, e.g. {missing.as_array()[:5].tolist()}"
                     )
@@ -847,11 +896,116 @@ class QuerySession:
             config_signature(config),
         )
 
+    def _admit(self, query: JoinProjectQuery,
+               config: MMJoinConfig) -> MMJoinConfig:
+        """Memory admission control: meter the extraction transient.
+
+        The dominating transient of the heavy path is the dense boolean
+        candidate scan over ``dom(x) × dom(z)`` (one byte per cell).  When
+        that estimate exceeds :attr:`memory_budget_bytes`, the query is
+        *forced onto tiled extraction* if one band fits the budget —
+        trading one allocation for ``ceil(u / tile_rows)`` bounded ones —
+        and rejected with :class:`~repro.errors.AdmissionRejected`
+        otherwise (including when the caller pinned ``extract_mode="full"``,
+        which forbids the downgrade).  The estimate is an upper bound for
+        sharded execution, whose per-shard transients are smaller.
+        """
+        budget = self.memory_budget_bytes
+        if budget is None:
+            return config
+        relations = query.join_relations()
+        if not relations:
+            return config
+        u = int(relations[0].x_values().size)
+        w = int(relations[-1].y_values().size)
+        estimate = u * w
+        # Raw registry, NOT the folding `metrics` property: admission runs
+        # once per served query, and folding pending query records here
+        # would drag the deferred accounting cost into the serving window.
+        metrics = self.telemetry.registry
+        if estimate <= budget:
+            metrics.inc("repro_admission_total", decision="admit")
+            return config
+        # Band height: the density-aware default, shrunk until one band
+        # fits the budget (a band is `tile_rows x w` bool cells).
+        tile_rows = min(choose_tile_rows(u, w, 1), max(int(budget // w), 1)) \
+            if w else 1
+        band_bytes = tile_rows * w
+        if config.extract_mode != "full" and band_bytes <= budget:
+            metrics.inc("repro_admission_total", decision="tiled")
+            obs_annotate(admission="forced_tiled",
+                         admission_estimate_bytes=estimate)
+            return dc_replace(config, extract_mode="tiled",
+                              extract_tile_rows=tile_rows)
+        metrics.inc("repro_admission_total", decision="reject")
+        reason = (
+            "extract_mode='full' pins the one-shot scan"
+            if config.extract_mode == "full"
+            else f"even one {band_bytes} B tiled band exceeds it"
+        )
+        raise AdmissionRejected(
+            f"estimated extraction transient {estimate} B "
+            f"({u} x {w} candidate cells) exceeds the session memory "
+            f"budget {budget} B, and {reason}",
+            estimate_bytes=estimate, budget_bytes=budget,
+        )
+
+    def submit(
+        self,
+        query: JoinProjectQuery,
+        *,
+        timeout_ms: Optional[float] = None,
+        partial_results: bool = False,
+        use_memo: bool = True,
+        config: Optional[MMJoinConfig] = None,
+    ) -> SessionResult:
+        """Serve one query under the session's fault-tolerance controls.
+
+        ``timeout_ms`` installs a :class:`~repro.errors.Deadline` for the
+        call: the planner's operator loop, the expansion-chunk loops and the
+        extraction-band loops all checkpoint against it (pool workers
+        inherit it), so an overrunning query raises
+        :class:`~repro.errors.QueryTimeoutError` within one checkpoint
+        interval of the budget — carrying the partial span tree for
+        forensics.
+
+        ``partial_results=True`` (set semantics only) keeps completed
+        shards when a sibling shard subplan exhausts its retries: the
+        result is the completed shards' union, flagged via
+        :attr:`SessionResult.partial` and ``partial: True`` in
+        ``explain()``.  Counting queries reject the flag — a partial sum
+        of witness counts is wrong, not approximate.
+
+        :meth:`evaluate` remains the uncontrolled entry point (no deadline,
+        whole-query failure).
+        """
+        if partial_results and query.with_counts:
+            raise ValueError(
+                "partial_results=True requires set semantics; a counting "
+                "query's partial witness sums would be wrong, not partial"
+            )
+        if timeout_ms is None:
+            return self.evaluate(query, use_memo=use_memo, config=config,
+                                 partial_results=partial_results)
+        deadline = Deadline(float(timeout_ms))
+        token = install_deadline(deadline)
+        try:
+            return self.evaluate(query, use_memo=use_memo, config=config,
+                                 partial_results=partial_results)
+        except QueryTimeoutError:
+            self.telemetry.registry.inc(
+                "repro_deadline_exceeded_total", kind=query.kind
+            )
+            raise
+        finally:
+            restore_deadline(token)
+
     def evaluate(
         self,
         query: JoinProjectQuery,
         use_memo: bool = True,
         config: Optional[MMJoinConfig] = None,
+        partial_results: bool = False,
     ) -> SessionResult:
         """Serve one logical query through the session-aware pipeline.
 
@@ -862,10 +1016,16 @@ class QuerySession:
         """
         trace = self.telemetry.start(query.kind)
         if trace is None:  # disabled: skip straight to the untraced body
-            return self._evaluate(query, use_memo, config)
+            return self._evaluate(query, use_memo, config, partial_results)
         token = trace_install(trace)
         try:
-            result = self._evaluate(query, use_memo, config)
+            result = self._evaluate(query, use_memo, config, partial_results)
+        except QueryTimeoutError as exc:
+            if exc.trace is None:
+                # Attach the partial span tree: forensics see exactly
+                # where the budget went before the checkpoint fired.
+                exc.trace = trace
+            raise
         finally:
             trace_restore(token)
             trace.finish()
@@ -887,6 +1047,7 @@ class QuerySession:
         query: JoinProjectQuery,
         use_memo: bool = True,
         config: Optional[MMJoinConfig] = None,
+        partial_results: bool = False,
     ) -> SessionResult:
         run_config = config if config is not None else self.config
         start = time.perf_counter()
@@ -905,6 +1066,9 @@ class QuerySession:
                     seconds=time.perf_counter() - start,
                     from_memo=True,
                 )
+        # Memo misses pay for real execution — that is what admission
+        # control meters (memo hits allocate nothing worth metering).
+        run_config = self._admit(query, run_config)
         routed = None
         if self._sharded and self.shards > 1:
             routed = self._router.route(query)
@@ -919,6 +1083,8 @@ class QuerySession:
                 ),
                 context=self.context,
                 result_cache=self.shard_result_cache,
+                partial_results=partial_results,
+                retry_policy=self.retry_policy,
             )
             explanation = sharded.explanation
             # The router lowers similarity/containment to the counting
@@ -935,7 +1101,9 @@ class QuerySession:
             self._record_shard_counters(explanation)
             with self._lock:
                 self.queries_served += 1
-            if key is not None:
+            if key is not None and not explanation.session_stats.get("partial"):
+                # A partial union must never be memoized: the next serve
+                # re-attempts the failed shards instead of replaying them.
                 value = (sharded.result_block, sharded.result_counted, explanation)
                 self.memo.put(key, value, _blocks_nbytes(value))
             return SessionResult(
@@ -1268,7 +1436,17 @@ class QuerySession:
                               value, **labels)
 
     def close(self) -> None:
-        """Shut down the session's thread pools (caches just drop with it)."""
+        """Shut down the session's thread pools (caches just drop with it).
+
+        Idempotent; also registered via ``atexit`` so sessions abandoned
+        without ``close()`` (or killed mid-serve by KeyboardInterrupt)
+        still tear their persistent pools down at interpreter exit.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        atexit.unregister(self.close)
         self.context.close()
         with self._lock:
             if self._async_pool is not None:

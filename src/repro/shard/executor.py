@@ -55,6 +55,20 @@ import numpy as np
 
 from repro.core.config import MMJoinConfig
 from repro.data.pairblock import CountedPairBlock, PairBlock
+from repro.errors import (
+    AdmissionRejected,
+    QueryTimeoutError,
+    ShardFailure,
+    WorkerCrashError,
+)
+from repro.faults import (
+    DEFAULT_RETRY_POLICY,
+    SITE_SHARD_SUBPLAN,
+    RetryPolicy,
+    fault_site,
+    run_with_retry,
+)
+from repro.obs.trace import current_trace
 from repro.obs.trace import span as obs_span
 from repro.plan.explain import OperatorReport, PlanExplanation
 from repro.plan.planner import Planner, PhysicalPlan
@@ -94,6 +108,56 @@ class _ShardOutcome:
     counted: Optional[CountedPairBlock]
     explanation: PlanExplanation
     rect: Optional[Rectangle] = None  # full heavy rectangle present in output
+    failed: Optional[ShardFailure] = None  # subplan gave up after its retries
+
+
+@dataclass
+class _FailedShard:
+    """Sentinel a shard subplan task returns after exhausting its retries.
+
+    Returned (not raised) so a parallel ``executor.map`` fan-out completes
+    and sibling shards' results survive; the caller decides whether the
+    failure aborts the query or degrades it to a partial result.
+    """
+
+    error: BaseException
+    attempts: int
+
+
+# What a shard subplan retry answers: crashed/hung workers, allocation
+# failures, and transient backend/runtime errors.  Deliberately excludes the
+# control-flow errors (QueryTimeoutError, AdmissionRejected) — those are
+# decisions, not failures, and must propagate immediately.
+_SHARD_RETRYABLE = (WorkerCrashError, MemoryError, RuntimeError, OSError)
+
+
+def _failed_outcome(sub: ShardSubquery, failed: _FailedShard) -> _ShardOutcome:
+    """Wrap an exhausted subplan failure as an outcome sibling results keep."""
+    failure = ShardFailure(
+        f"shard {sub.shard!r} subplan failed after {failed.attempts} "
+        f"attempt(s): {type(failed.error).__name__}: {failed.error}",
+        shard=sub.shard,
+        attempts=failed.attempts,
+    )
+    failure.__cause__ = failed.error
+    explanation = PlanExplanation(
+        query_kind=sub.query.kind,
+        strategy="failed",
+        backend="none",
+        delta1=0,
+        delta2=0,
+        operators=[OperatorReport(
+            operator="shard_subplan",
+            status="failed",
+            detail={
+                "error": f"{type(failed.error).__name__}: {failed.error}",
+                "attempts": failed.attempts,
+            },
+        )],
+        shard=sub.shard,
+    )
+    return _ShardOutcome(block=None, counted=None, explanation=explanation,
+                         failed=failure)
 
 
 def _concat_counted(blocks: List[CountedPairBlock], arity: int) -> CountedPairBlock:
@@ -369,6 +433,7 @@ def _evaluate_subqueries(
     shard_config: MMJoinConfig,
     executor: Optional[Any],
     parallel: bool,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Dict[int, _ShardOutcome]:
     """Evaluate the subqueries at ``indices``; returns ``{index: outcome}``.
 
@@ -377,12 +442,16 @@ def _evaluate_subqueries(
     append touched.  Each index goes per-shard result cache -> heavy rank-1
     rectangle -> planner pipeline, with fresh results cached under their
     shard-token keys.
+
+    A subplan that keeps failing after ``retry_policy`` retries comes back
+    as a failed outcome (``_ShardOutcome.failed``) rather than aborting the
+    fan-out, so sibling shards' results survive for partial serving.
     """
     indices = list(indices)
     with obs_span("shard_fanout", shards=len(indices)):
         return _evaluate_subqueries_impl(
             indices, subqueries, shard_keys, counting, cache_ctx,
-            planner_for, shard_config, executor, parallel,
+            planner_for, shard_config, executor, parallel, retry_policy,
         )
 
 
@@ -396,6 +465,7 @@ def _evaluate_subqueries_impl(
     shard_config: MMJoinConfig,
     executor: Optional[Any],
     parallel: bool,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Dict[int, _ShardOutcome]:
     outcomes: Dict[int, _ShardOutcome] = {}
 
@@ -457,10 +527,38 @@ def _evaluate_subqueries_impl(
         outcomes[i] = outcome
 
     # ---- everything else: the ordinary per-shard planner pipeline -------- #
-    def run_one(sub: ShardSubquery) -> PhysicalPlan:
-        plan = planner_for(shard_config).create_plan(sub.query, shard=sub.shard)
-        plan.execute()
-        return plan
+    policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+
+    def run_one(sub: ShardSubquery) -> Any:
+        retries = 0
+
+        def attempt() -> PhysicalPlan:
+            fault_site(SITE_SHARD_SUBPLAN)
+            plan = planner_for(shard_config).create_plan(
+                sub.query, shard=sub.shard
+            )
+            plan.execute()
+            return plan
+
+        def on_retry(attempt_no: int, exc: BaseException) -> None:
+            nonlocal retries
+            retries = attempt_no
+            trace = current_trace()
+            if trace is not None and trace.metrics is not None:
+                trace.metrics.inc("repro_retries_total", scope="shard")
+
+        try:
+            return run_with_retry(attempt, policy=policy,
+                                  retryable=_SHARD_RETRYABLE,
+                                  on_retry=on_retry)
+        except (QueryTimeoutError, AdmissionRejected):
+            raise  # decisions, not failures: abort the whole fan-out
+        except Exception as exc:
+            trace = current_trace()
+            if trace is not None and trace.metrics is not None:
+                trace.metrics.inc("repro_shard_failures_total",
+                                  shard=str(sub.shard))
+            return _FailedShard(error=exc, attempts=retries + 1)
 
     pending = [subqueries[i] for i, _ in planner_misses]
     if executor is not None and parallel and len(pending) > 1:
@@ -468,6 +566,9 @@ def _evaluate_subqueries_impl(
     else:
         plans = [run_one(sub) for sub in pending]
     for (i, key), plan in zip(planner_misses, plans):
+        if isinstance(plan, _FailedShard):
+            outcomes[i] = _failed_outcome(subqueries[i], plan)
+            continue
         state = plan.state
         outcome = _ShardOutcome(
             block=state.result_block if state is not None else None,
@@ -516,6 +617,7 @@ def _patched_merged_result(
     executor: Optional[Any],
     parallel: bool,
     start: float,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Optional[ShardedResult]:
     """Patch an older cached merged result with touched shards' fresh blocks.
 
@@ -556,8 +658,12 @@ def _patched_merged_result(
                if new != old]
     outcomes = _evaluate_subqueries(
         touched, routed.subqueries, shard_keys, False, cache_ctx,
-        planner_for, shard_config, executor, parallel,
+        planner_for, shard_config, executor, parallel, retry_policy,
     )
+    if any(outcomes[i].failed is not None for i in touched):
+        # A delta shard kept failing: fall back to the full per-shard path,
+        # which owns the partial-vs-abort decision.
+        return None
     fresh_blocks = [outcomes[i].block for i in touched
                     if outcomes[i].block is not None]
     merge_start = time.perf_counter()
@@ -650,6 +756,8 @@ def execute_sharded(
     executor: Optional[Any] = None,
     context: Optional[Any] = None,
     result_cache: bool = True,
+    partial_results: bool = False,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> ShardedResult:
     """Run every shard subquery and merge the results.
 
@@ -671,6 +779,14 @@ def execute_sharded(
         (every subquery re-evaluates; the micro benchmark uses this as its
         baseline).  The heavy-shard rank-1 path stays on either way — it is
         an evaluation strategy, not a cache.
+    partial_results:
+        When a shard subplan exhausts its retries, serve the completed
+        shards' union (set semantics only — a partial union is a sound
+        under-approximation) with ``session_stats["partial"] = True``
+        instead of raising :class:`~repro.errors.ShardFailure`.  Counting
+        queries always raise: partial witness counts are not meaningful.
+    retry_policy:
+        Per-shard retry schedule (``None`` uses the default policy).
     """
     start = time.perf_counter()
     shard_config = config.with_cores(1) if config.cores > 1 else config
@@ -696,7 +812,7 @@ def execute_sharded(
             with obs_span("delta_patch") as patch_span:
                 patched = _patched_merged_result(
                     routed, shard_keys, merged_key, cache_ctx, planner_for,
-                    shard_config, executor, parallel, start,
+                    shard_config, executor, parallel, start, retry_policy,
                 )
             patch_span.set("outcome", "patched" if patched is not None else "fallback")
             if patched is not None:
@@ -705,8 +821,17 @@ def execute_sharded(
     outcome_map = _evaluate_subqueries(
         range(len(subqueries)), subqueries, shard_keys, counting,
         cache_ctx, planner_for, shard_config, executor, parallel,
+        retry_policy,
     )
     outcomes = [outcome_map[i] for i in range(len(subqueries))]
+
+    # ---- per-shard failure isolation ------------------------------------- #
+    failures = [outcome.failed for outcome in outcomes
+                if outcome.failed is not None]
+    if failures and (counting or not partial_results):
+        # Counting queries never degrade: a partial sum of witness counts
+        # is wrong, not approximate.
+        raise failures[0]
 
     # ---- cross-shard merge (one concat + one packed-key unique) ---------- #
     merge_start = time.perf_counter()
@@ -734,7 +859,9 @@ def execute_sharded(
         merge_seconds=merge_seconds,
         total_seconds=time.perf_counter() - start,
     )
-    if merged_key is not None:
+    if merged_key is not None and not failures:
+        # Never cache a partial union: the next serve must re-attempt the
+        # failed shards, not re-serve their absence.
         cache_ctx.artifacts.put(
             merged_key,
             (merged_block, merged_counted, explanation.backend,
@@ -775,6 +902,15 @@ def _rollup(
             if op.status == "ran":
                 agg.status = "ran"
                 agg.detail["shards_ran"] = agg.detail.get("shards_ran", 0) + 1
+            elif op.status == "failed":
+                agg.status = "failed"
+                agg.detail["shards_failed"] = (
+                    agg.detail.get("shards_failed", 0) + 1
+                )
+                if "error" in op.detail:
+                    agg.detail["error"] = op.detail["error"]
+                if "attempts" in op.detail:
+                    agg.detail["attempts"] = int(op.detail["attempts"])
             for key in ("memory_in_bytes", "memory_out_bytes",
                         "memory_full_scan_bytes",
                         "sub_blocks_total", "sub_blocks_skipped",
@@ -825,6 +961,9 @@ def _rollup(
         if any(op.operator == "matmul_heavy" and op.status == "ran"
                for op in sub_exp.operators)
     })
+    shards_failed = sum(
+        1 for sub_exp in shard_explanations if sub_exp.strategy == "failed"
+    )
     result_cache_hits = 0
     shard_reports: List[Dict[str, Any]] = []
     for sub, sub_exp in zip(routed.subqueries, shard_explanations):
@@ -865,6 +1004,8 @@ def _rollup(
             "operator_cache_misses": sum(
                 _cache_counts(e)["cache_misses"] for e in shard_explanations
             ),
+            **({"partial": True, "shards_failed": shards_failed}
+               if shards_failed else {}),
         },
         shard_reports=shard_reports,
     )

@@ -30,6 +30,16 @@ from strategies import (
 from repro.data.relation import Relation
 
 from repro.core.config import MMJoinConfig
+from repro.faults import (
+    SITE_BACKEND_MATMUL,
+    SITE_EXTRACT_ALLOC,
+    SITE_POOL_TASK,
+    SITE_SHARD_SUBPLAN,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    inject,
+)
 from repro.core.two_path import two_path_join, two_path_join_counts
 from repro.engines.registry import available_engines, make_engine
 from repro.joins.baseline import combinatorial_star, combinatorial_two_path
@@ -52,6 +62,29 @@ SHARD_COUNTS = tuple(sorted({1, 3, 8} | ({_ENV_SHARDS} if _ENV_SHARDS > 1 else s
 
 # Derandomized: the whole differential harness runs under fixed seeds.
 DIFF_SETTINGS = dict(max_examples=6, deadline=None, derandomize=True)
+
+# Chaos axis: seeded fault plans injected into the serving path must be
+# invisible in the output (retries and pool recovery absorb them).  The
+# default run exercises the two highest-value plans; REPRO_TEST_FAULTS=1
+# (the fault-enabled CI matrix entry) turns the full grid on.
+_ENV_FAULTS = int(os.environ.get("REPRO_TEST_FAULTS", "0") or "0")
+_FAULT_RULESETS = {
+    "worker-crash": (FaultRule(SITE_POOL_TASK, "crash", count=1),),
+    "shard-error": (FaultRule(SITE_SHARD_SUBPLAN, "error", count=2),),
+}
+if _ENV_FAULTS:
+    _FAULT_RULESETS.update({
+        "alloc-failure": (FaultRule(SITE_EXTRACT_ALLOC, "alloc", count=1),),
+        "backend-error": (FaultRule(SITE_BACKEND_MATMUL, "error", count=1),),
+        "fault-storm": (
+            FaultRule(SITE_POOL_TASK, "crash", count=2),
+            FaultRule(SITE_SHARD_SUBPLAN, "error", count=1),
+            FaultRule(SITE_BACKEND_MATMUL, "error", count=1),
+        ),
+    })
+# Real retries with negligible real backoff.
+_CHAOS_RETRY = RetryPolicy(max_attempts=3, base_delay_ms=0.01,
+                           max_delay_ms=0.05, jitter=0.0)
 
 
 # --------------------------------------------------------------------------- #
@@ -548,3 +581,53 @@ class TestMixedWritesMatchOracle:
             counted = session.two_path("L", "R", counting=True, use_memo=False)
         assert final.pairs == combinatorial_two_path(oracle, right)
         assert counted.counts == hash_join_project_counts(oracle, right)
+
+
+# --------------------------------------------------------------------------- #
+# Chaos axis: injected faults must be invisible in the output
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("ruleset", sorted(_FAULT_RULESETS))
+class TestChaosAgreesWithOracle:
+    """Seeded fault injection against the fault-free combinatorial oracle.
+
+    Each plan is constructed per example (counts re-arm), injected for the
+    serve only, and the served pair set must equal the oracle exactly —
+    recovery is correct only if it is invisible.  The retry policy uses
+    microsecond backoffs so the chaos grid stays fast.
+    """
+
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    @given(rows=skewed_pair_lists(max_size=100))
+    def test_sharded_query_survives_faults(self, ruleset, rows):
+        skewed = Relation.from_pairs(rows, name="L")
+        expected = combinatorial_two_path(skewed, skewed)
+        plan = FaultPlan(_FAULT_RULESETS[ruleset], seed=11)
+        config = MMJoinConfig(delta1=2, delta2=2, cores=2)
+        with QuerySession(config=config, shards=3,
+                          retry_policy=_CHAOS_RETRY) as session:
+            session.register(skewed, name="L", sharded=True)
+            with inject(plan):
+                served = session.two_path("L", "L", use_memo=False)
+            rerun = session.two_path("L", "L", use_memo=False)
+        assert served.pairs == expected
+        assert rerun.pairs == expected  # session healthy after the faults
+
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    @given(rows=skewed_pair_lists(max_size=80))
+    def test_faulted_write_read_cycle_matches(self, ruleset, rows):
+        skewed = Relation.from_pairs(rows, name="L")
+        config = MMJoinConfig(delta1=2, delta2=2, cores=2)
+        with QuerySession(config=config, shards=3,
+                          retry_policy=_CHAOS_RETRY) as session:
+            session.register(skewed, name="L", sharded=True)
+            session.two_path("L", "L", use_memo=False)  # warm caches
+            plan = FaultPlan(_FAULT_RULESETS[ruleset], seed=3)
+            with inject(plan):
+                session.append("L", [(91, 5), (92, 6)])
+                served = session.two_path("L", "L", use_memo=False)
+        oracle = _rel_from_rows(
+            set(map(tuple, np.asarray(skewed.data).tolist()))
+            | {(91, 5), (92, 6)},
+            "L",
+        )
+        assert served.pairs == combinatorial_two_path(oracle, oracle)
